@@ -1,0 +1,307 @@
+// Benchmarks regenerating the paper's evaluation (see DESIGN.md §3 for the
+// experiment index). Heavy table benches run a single iteration under the
+// default -benchtime; custom metrics carry the quality numbers the paper's
+// tables report, so `go test -bench . -benchmem` reproduces both the rows
+// (printed to stderr) and the headline ratios (as benchmark metrics).
+package merlin_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"merlin/internal/core"
+	"merlin/internal/curve"
+	"merlin/internal/expt"
+	"merlin/internal/flows"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/order"
+	"merlin/internal/ptree"
+	"merlin/internal/vangin"
+)
+
+// benchProfile trades more quality for speed than flows.ProfileFor so the
+// table benches fit a CI budget: the big-net rows run with coarser curve
+// caps and a single outer loop. cmd/table1 and cmd/table2 run the full
+// profiles; EXPERIMENTS.md reports both.
+func benchProfile(n int) flows.Profile {
+	p := flows.ProfileFor(n)
+	if n > 24 {
+		p.Lib = p.Lib.Small(3)
+		p.MaxCands = 8
+		p.Core.Alpha = 3
+		p.Core.MaxSols = 2
+		p.Core.MaxLoops = 1
+	}
+	return p
+}
+
+// BenchmarkTable1 is experiment E1: the full 18-net Table 1 run (bench
+// budget profile). The three ratio averages the paper reports (area, delay,
+// runtime of Flows II and III over Flow I) are attached as metrics.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.RunTable1(expt.Table1Options{Profile: benchProfile}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			expt.WriteTable1(os.Stderr, rows)
+			aII, dII, rII, aIII, dIII, rIII := expt.Table1Averages(rows)
+			b.ReportMetric(aII, "II/I-area")
+			b.ReportMetric(dII, "II/I-delay")
+			b.ReportMetric(rII, "II/I-rt")
+			b.ReportMetric(aIII, "III/I-area")
+			b.ReportMetric(dIII, "III/I-delay")
+			b.ReportMetric(rIII, "III/I-rt")
+		}
+	}
+}
+
+// BenchmarkTable2 is experiment E2: the post-layout full-flow Table 2 over
+// all 15 synthetic benchmark circuits (at the documented budget scale).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.RunTable2(expt.Table2Options{Scale: 0.02, Profile: benchProfile}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			expt.WriteTable2(os.Stderr, rows)
+			aII, dII, rII, aIII, dIII, rIII := expt.Table2Averages(rows)
+			b.ReportMetric(aII, "II/I-area")
+			b.ReportMetric(dII, "II/I-delay")
+			b.ReportMetric(rII, "II/I-rt")
+			b.ReportMetric(aIII, "III/I-area")
+			b.ReportMetric(dIII, "III/I-delay")
+			b.ReportMetric(rIII, "III/I-rt")
+		}
+	}
+}
+
+// BenchmarkNeighborhoodEnum is experiment E3 (Theorem 1): exhaustive
+// enumeration of the order neighborhood, whose Fibonacci size is the
+// paper's exponential-subspace claim.
+func BenchmarkNeighborhoodEnum(b *testing.B) {
+	for _, n := range []int{10, 15, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			pi := order.Identity(n)
+			var got int
+			for i := 0; i < b.N; i++ {
+				got = len(order.Neighborhood(pi))
+			}
+			if uint64(got) != order.NeighborhoodSize(n) {
+				b.Fatalf("enumerated %d, closed form %d", got, order.NeighborhoodSize(n))
+			}
+			b.ReportMetric(float64(got), "orders")
+		})
+	}
+}
+
+// BenchmarkMerlinConvergence is experiment E4: MERLIN's loop count across
+// random nets ("converges very quickly for most practical examples").
+func BenchmarkMerlinConvergence(b *testing.B) {
+	prof := flows.ProfileFor(8)
+	prof.Core.MaxLoops = 12
+	for i := 0; i < b.N; i++ {
+		totalLoops := 0
+		const nets = 5
+		for s := 0; s < nets; s++ {
+			nt := net.Generate(net.DefaultGenSpec(8, int64(500+s)), prof.Tech, prof.Lib.Driver)
+			res, err := core.Merlin(nt, geom.ReducedHanan(nt.Terminals(), prof.MaxCands),
+				prof.Lib, prof.Tech, prof.Core, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totalLoops += res.Loops
+		}
+		if i == 0 {
+			b.ReportMetric(float64(totalLoops)/nets, "loops/net")
+		}
+	}
+}
+
+// BenchmarkCandidateSets is experiment E6 (§III.1): the candidate-location
+// choice — full Hanan, reduced Hanan, centers of mass — barely moves the
+// result once k is large enough. The req metric carries the quality.
+func BenchmarkCandidateSets(b *testing.B) {
+	prof := flows.ProfileFor(7)
+	nt := net.Generate(net.DefaultGenSpec(7, 77), prof.Tech, prof.Lib.Driver)
+	sets := map[string][]geom.Point{
+		"hanan-full":    geom.HananGrid(nt.Terminals()),
+		"hanan-reduced": geom.ReducedHanan(nt.Terminals(), prof.MaxCands),
+		"center-mass":   comCandidates(nt, prof.MaxCands),
+	}
+	for name, cands := range sets {
+		b.Run(name, func(b *testing.B) {
+			var req float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Merlin(nt, cands, prof.Lib, prof.Tech, prof.Core, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req = res.ReqAtDriverInput
+			}
+			b.ReportMetric(req, "req-ns")
+			b.ReportMetric(float64(len(cands)), "k")
+		})
+	}
+}
+
+func comCandidates(nt *net.Net, maxK int) []geom.Point {
+	ord := order.TSP(nt.Source, nt.SinkPoints())
+	pts := make([]geom.Point, len(ord))
+	for i, s := range ord {
+		pts[i] = nt.Sinks[s].Pos
+	}
+	cands := geom.CenterOfMassCandidates(pts)
+	if len(cands) > maxK {
+		cands = cands[:maxK]
+	}
+	return append(cands, nt.Source)
+}
+
+// BenchmarkBubblingAblation is experiment E8: BUBBLE_CONSTRUCT with all four
+// grouping structures versus the χ0-only restriction (bubbling disabled),
+// from the same deliberately poor initial order.
+func BenchmarkBubblingAblation(b *testing.B) {
+	prof := flows.ProfileFor(8)
+	nt := net.Generate(net.DefaultGenSpec(8, 88), prof.Tech, prof.Lib.Driver)
+	cands := geom.ReducedHanan(nt.Terminals(), prof.MaxCands)
+	tsp := order.TSP(nt.Source, nt.SinkPoints())
+	bad := make(order.Order, len(tsp))
+	for i, v := range tsp {
+		bad[len(tsp)-1-i] = v
+	}
+	for _, cfg := range []struct {
+		name string
+		chis []core.Chi
+	}{
+		{"bubbling-on", nil},
+		{"bubbling-off", []core.Chi{core.Chi0}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			opts := prof.Core
+			opts.Chis = cfg.chis
+			var req float64
+			for i := 0; i < b.N; i++ {
+				_, sol, err := core.BubbleConstructOnce(nt, cands, prof.Lib, prof.Tech, opts, bad)
+				if err != nil {
+					b.Fatal(err)
+				}
+				req = sol.Req
+			}
+			b.ReportMetric(req, "req-ns")
+		})
+	}
+}
+
+// BenchmarkBubbleConstruct measures the inner engine across net sizes — the
+// practical face of Theorem 6's complexity bound.
+func BenchmarkBubbleConstruct(b *testing.B) {
+	for _, n := range []int{5, 8, 12} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prof := flows.ProfileFor(n)
+			nt := net.Generate(net.DefaultGenSpec(n, int64(n)), prof.Tech, prof.Lib.Driver)
+			cands := geom.ReducedHanan(nt.Terminals(), prof.MaxCands)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				en := core.NewEngine(nt, cands, prof.Lib, prof.Tech, prof.Core)
+				if _, err := en.Construct(order.TSP(nt.Source, nt.SinkPoints())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPTree measures the routing baseline (Lemma 1's DP).
+func BenchmarkPTree(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			prof := flows.ProfileFor(n)
+			nt := net.Generate(net.DefaultGenSpec(n, int64(n)), prof.Tech, prof.Lib.Driver)
+			solver := ptree.NewSolver(nt, geom.ReducedHanan(nt.Terminals(), prof.MaxCands), prof.Tech, prof.PTree)
+			ord := order.TSP(nt.Source, nt.SinkPoints())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := solver.Solve(ord); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVanGinneken measures buffer insertion on a fixed routing.
+func BenchmarkVanGinneken(b *testing.B) {
+	prof := flows.ProfileFor(12)
+	nt := net.Generate(net.DefaultGenSpec(12, 3), prof.Tech, prof.Lib.Driver)
+	solver := ptree.NewSolver(nt, geom.ReducedHanan(nt.Terminals(), prof.MaxCands), prof.Tech, prof.PTree)
+	routed, _, err := solver.Solve(order.TSP(nt.Source, nt.SinkPoints()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vg := prof.VG
+	vg.SegLen = 8000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vangin.Insert(routed, prof.Lib, prof.Tech, vg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCurveOps measures the DP's innermost data structure.
+func BenchmarkCurveOps(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sols := make([]curve.Solution, 256)
+	for i := range sols {
+		sols[i] = curve.Solution{
+			Load: float64(rng.Intn(100)) / 100,
+			Req:  float64(rng.Intn(100)) / 10,
+			Area: float64(rng.Intn(100)) * 50,
+		}
+	}
+	b.Run("TryInsert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := &curve.Curve{}
+			for _, s := range sols {
+				c.TryInsert(s.Load, s.Req, s.Area, nil)
+			}
+		}
+	})
+	b.Run("AddPrune", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := &curve.Curve{}
+			for _, s := range sols {
+				c.Add(s)
+			}
+			c.Prune()
+		}
+	})
+}
+
+// BenchmarkTradeoffExtraction exercises the two §III.1 problem variants on a
+// shared final curve (experiment E5's machinery).
+func BenchmarkTradeoffExtraction(b *testing.B) {
+	prof := flows.ProfileFor(7)
+	nt := net.Generate(net.DefaultGenSpec(7, 55), prof.Tech, prof.Lib.Driver)
+	cands := geom.ReducedHanan(nt.Terminals(), prof.MaxCands)
+	en := core.NewEngine(nt, cands, prof.Lib, prof.Tech, prof.Core)
+	final, err := en.Construct(order.TSP(nt.Source, nt.SinkPoints()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := en.Extract(final, core.Goal{Mode: core.GoalMaxReq, AreaBudget: 20000}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := en.Extract(final, core.Goal{Mode: core.GoalMinArea, ReqFloor: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command merlin runs one of the paper's three buffered-routing flows on a
+// net described by a JSON file and prints the resulting tree and its timing.
+//
+// Usage:
+//
+//	merlin -net path/to/net.json [-flow III] [-alpha 8] [-cands 16]
+//	       [-budget λ²] [-reqfloor ns] [-dump]
+//
+// With -gen N a synthetic N-sink net (the Table 1 generator) is used instead
+// of -net; -write saves the generated net so runs are reproducible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"merlin/internal/core"
+	"merlin/internal/flows"
+	"merlin/internal/net"
+)
+
+func main() {
+	var (
+		netPath  = flag.String("net", "", "net JSON file (see internal/net)")
+		gen      = flag.Int("gen", 0, "generate a synthetic net with this many sinks instead of -net")
+		seed     = flag.Int64("seed", 1, "generator seed for -gen")
+		write    = flag.String("write", "", "write the (generated) net JSON here")
+		flowName = flag.String("flow", "III", "flow to run: I, II or III")
+		alpha    = flag.Int("alpha", 0, "override Cα branching factor α (Flow III)")
+		cands    = flag.Int("cands", 0, "override candidate-location budget")
+		budget   = flag.Float64("budget", 0, "variant I: total buffer area budget (λ²)")
+		reqFloor = flag.Float64("reqfloor", 0, "variant II: required-time floor at the driver (ns); enables min-area mode")
+		dump     = flag.Bool("dump", false, "print the tree structure")
+		dot      = flag.String("dot", "", "write the tree as Graphviz DOT to this file")
+	)
+	flag.Parse()
+	if err := run(*netPath, *gen, *seed, *write, *flowName, *alpha, *cands, *budget, *reqFloor, *dump, *dot); err != nil {
+		fmt.Fprintln(os.Stderr, "merlin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netPath string, gen int, seed int64, write, flowName string, alpha, cands int, budget, reqFloor float64, dump bool, dot string) error {
+	var nt *net.Net
+	switch {
+	case gen > 0:
+		prof := flows.ProfileFor(gen)
+		nt = net.Generate(net.DefaultGenSpec(gen, seed), prof.Tech, prof.Lib.Driver)
+	case netPath != "":
+		f, err := os.Open(netPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		nt, err = net.Read(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -net FILE or -gen N (try -gen 8)")
+	}
+	if write != "" {
+		f, err := os.Create(write)
+		if err != nil {
+			return err
+		}
+		if err := nt.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	prof := flows.ProfileFor(nt.N())
+	if alpha > 0 {
+		prof.Core.Alpha = alpha
+	}
+	if cands > 0 {
+		prof.MaxCands = cands
+	}
+	if budget > 0 {
+		prof.Core.Goal = core.Goal{Mode: core.GoalMaxReq, AreaBudget: budget}
+	}
+	if reqFloor != 0 {
+		prof.Core.Goal = core.Goal{Mode: core.GoalMinArea, ReqFloor: reqFloor}
+	}
+
+	var fl flows.ID
+	switch flowName {
+	case "I", "1":
+		fl = flows.FlowI
+	case "II", "2":
+		fl = flows.FlowII
+	case "III", "3":
+		fl = flows.FlowIII
+	default:
+		return fmt.Errorf("unknown flow %q (want I, II or III)", flowName)
+	}
+
+	res, err := flows.Run(fl, nt, prof)
+	if err != nil {
+		return err
+	}
+	ev := res.Eval
+	fmt.Printf("net %s: n=%d flow=%v\n", nt.Name, nt.N(), res.Flow)
+	fmt.Printf("  delay            %.4f ns\n", ev.Delay)
+	fmt.Printf("  req@driver-input %.4f ns (critical sink s%d)\n", ev.ReqAtDriverInput, ev.CriticalSink+1)
+	fmt.Printf("  buffer area      %.0f λ² (%d buffers)\n", ev.BufferArea, res.Tree.NumBuffers())
+	fmt.Printf("  wirelength       %d λ\n", ev.Wirelength)
+	fmt.Printf("  runtime          %v\n", res.Runtime)
+	if res.Loops > 0 {
+		fmt.Printf("  MERLIN loops     %d\n", res.Loops)
+	}
+	if dump {
+		fmt.Print(res.Tree)
+	}
+	if dot != "" {
+		f, err := os.Create(dot)
+		if err != nil {
+			return err
+		}
+		if err := res.Tree.WriteDot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote DOT to %s\n", dot)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Command sweep runs single-knob ablations of the MERLIN engine on a
+// synthetic net and prints a series: quality (required time, buffer area)
+// and cost (loops, runtime) per configuration. This regenerates the design-
+// choice ablations DESIGN.md §3 lists (E8 and the relaxed-Cα extension).
+//
+// Usage:
+//
+//	sweep -knob alpha -values 2,4,6,8 [-sinks 8] [-seed 1]
+//	sweep -knob chis -values 0,1            # bubbling off/on
+//	sweep -knob internal -values 1,2        # strict chain vs relaxed Cα
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"merlin/internal/expt"
+)
+
+func main() {
+	knob := flag.String("knob", "alpha", "knob to sweep: alpha, cands, maxsols, chis, internal")
+	values := flag.String("values", "2,4,6,8", "comma-separated integer values")
+	sinks := flag.Int("sinks", 8, "sinks in the synthetic net")
+	seed := flag.Int64("seed", 1, "net generator seed")
+	flag.Parse()
+
+	var vals []int
+	for _, tok := range strings.Split(*values, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: bad value %q: %v\n", tok, err)
+			os.Exit(1)
+		}
+		vals = append(vals, v)
+	}
+	spec := expt.SweepSpec{Knob: *knob, Values: vals, Sinks: *sinks, Seed: *seed}
+	pts, err := expt.RunSweep(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	expt.WriteSweep(os.Stdout, spec, pts)
+}

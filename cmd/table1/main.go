@@ -1,0 +1,44 @@
+// Command table1 regenerates Table 1 of the paper: buffer area, delay and
+// runtime of the three flows on 18 synthetic nets matching the paper's sink
+// counts (experiment E1 of DESIGN.md).
+//
+// Usage: table1 [-max-sinks N] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"merlin/internal/expt"
+)
+
+func main() {
+	maxSinks := flag.Int("max-sinks", 0, "skip nets with more sinks than this (0 = run all 18)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	csvPath := flag.String("csv", "", "also write machine-readable rows to this CSV file")
+	flag.Parse()
+
+	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	if *quiet {
+		progress = nil
+	}
+	rows, err := expt.RunTable1(expt.Table1Options{MaxSinks: *maxSinks}, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	expt.WriteTable1(os.Stdout, rows)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := expt.WriteTable1CSV(f, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command table2 regenerates Table 2 of the paper: post-layout area, delay
+// and runtime of the three flows over a set of synthetic benchmark circuits
+// run through the full flow — generation, placement, per-net buffered
+// routing, and static timing (experiment E2 of DESIGN.md).
+//
+// Usage: table2 [-scale 0.15] [-circuits N] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"merlin/internal/expt"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "circuit size relative to the paper's benchmarks")
+	circuits := flag.Int("circuits", 0, "run only the first N circuits (0 = all 15)")
+	quiet := flag.Bool("quiet", false, "suppress progress lines")
+	csvPath := flag.String("csv", "", "also write machine-readable rows to this CSV file")
+	flag.Parse()
+
+	progress := func(s string) { fmt.Fprintln(os.Stderr, s) }
+	if *quiet {
+		progress = nil
+	}
+	rows, err := expt.RunTable2(expt.Table2Options{Scale: *scale, MaxCircuits: *circuits}, progress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table2:", err)
+		os.Exit(1)
+	}
+	expt.WriteTable2(os.Stdout, rows)
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table2:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := expt.WriteTable2CSV(f, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "table2:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package merlin is a from-scratch Go reproduction of
+//
+//	A. H. Salek, J. Lou, M. Pedram,
+//	"MERLIN: Semi-Order-Independent Hierarchical Buffered Routing Tree
+//	Generation Using Local Neighborhood Search", DAC 1999,
+//
+// including the paper's contribution (grouping structures χ0–χ3 with local
+// order-perturbation, the *PTREE buffered routing engine, BUBBLE_CONSTRUCT,
+// and the MERLIN outer search) and every substrate and baseline its
+// evaluation depends on: rectilinear geometry and Hanan grids, Elmore/
+// 4-parameter delay models, a 34-buffer library, 3-D non-inferior solution
+// curves, P-Tree routing [LCLH96], LT-Tree fanout optimization [To90], van
+// Ginneken buffer insertion [Gi90], and a synthetic-netlist + placement +
+// static-timing full flow for the post-layout experiments.
+//
+// The implementation lives under internal/; see README.md for the package
+// map, DESIGN.md for the reproduction plan, and EXPERIMENTS.md for measured
+// results against the paper's Tables 1 and 2. The benchmarks in
+// bench_test.go regenerate every table and quantitative claim.
+package merlin
+
+// Version identifies this reproduction.
+const Version = "1.0.0"

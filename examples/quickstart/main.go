@@ -1,0 +1,69 @@
+// Quickstart: build a small net by hand, run MERLIN, and inspect the
+// resulting hierarchical buffered routing tree.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin/internal/buflib"
+	"merlin/internal/core"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/rc"
+)
+
+func main() {
+	// Technology and buffer library (synthetic 0.35µ-class, 34 buffers).
+	tech := rc.Default035()
+	lib := buflib.Default035()
+
+	// A net: one driver at the origin, five sinks with loads (pF) and
+	// required times (ns). Distances are in λ.
+	nt := &net.Net{
+		Name:   "quickstart",
+		Source: geom.Point{X: 0, Y: 0},
+		Driver: lib.Driver,
+		Sinks: []net.Sink{
+			{Pos: geom.Point{X: 12000, Y: 2000}, Load: 0.020, Req: 5.0},
+			{Pos: geom.Point{X: 15000, Y: 9000}, Load: 0.035, Req: 5.2},
+			{Pos: geom.Point{X: 3000, Y: 14000}, Load: 0.012, Req: 4.8},
+			{Pos: geom.Point{X: 9000, Y: 16000}, Load: 0.050, Req: 5.5},
+			{Pos: geom.Point{X: 1000, Y: 7000}, Load: 0.008, Req: 4.6},
+		},
+	}
+
+	// Candidate buffer locations: the Hanan grid of the terminals (§III.1
+	// offers Hanan points, reserved locations, or centers of mass — any
+	// sufficiently dense set works).
+	cands := geom.ReducedHanan(nt.Terminals(), 20)
+
+	// Run MERLIN: local neighborhood search over sink orders, each
+	// neighborhood searched optimally by BUBBLE_CONSTRUCT.
+	opts := core.DefaultOptions()
+	opts.Alpha = 6
+	res, err := core.Merlin(nt, cands, lib, tech, opts, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("converged in %d loop(s); final sink order %v\n", res.Loops, res.FinalOrder)
+	fmt.Printf("required time at driver input: %.4f ns\n", res.ReqAtDriverInput)
+	fmt.Printf("total buffer area: %.0f λ²\n", res.Solution.Area)
+	fmt.Println("\nbuffered routing tree:")
+	fmt.Print(res.Tree)
+
+	// The final curve is the 3-D non-inferior frontier (Fig. 8): every
+	// (load, required time, buffer area) trade-off the DP retained.
+	fmt.Println("non-inferior frontier at the source:")
+	for _, s := range res.Frontier.Sols {
+		fmt.Printf("  %v\n", s)
+	}
+
+	// Full evaluation with slew propagation.
+	ev := res.Tree.Evaluate(tech, lib.Driver)
+	fmt.Printf("\nevaluated: delay=%.4f ns, wirelength=%d λ, %d buffers\n",
+		ev.Delay, ev.Wirelength, res.Tree.NumBuffers())
+}

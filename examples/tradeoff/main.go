@@ -1,0 +1,76 @@
+// Tradeoff: the two problem variants of §III.1 on one net.
+//
+// Variant I — maximize required time subject to a buffer-area budget — is
+// swept over budgets; variant II — minimize area subject to a required-time
+// floor — is swept over floors. Both read off the same 3-D non-inferior
+// solution curve (Fig. 8), which is also printed.
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"merlin/internal/buflib"
+	"merlin/internal/core"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/rc"
+)
+
+func main() {
+	tech := rc.Default035()
+	lib := buflib.Default035().Small(12)
+	nt := net.Generate(net.DefaultGenSpec(9, 7), tech, lib.Driver)
+	cands := geom.ReducedHanan(nt.Terminals(), 16)
+
+	opts := core.DefaultOptions()
+	opts.Alpha = 6
+	opts.MaxSols = 12
+	res, err := core.Merlin(nt, cands, lib, tech, opts, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("net %s (n=%d), %d loops\n\n", nt.Name, nt.N(), res.Loops)
+	fmt.Println("3-D non-inferior solution curve at the source (Fig. 8):")
+	fmt.Printf("  %-12s %-12s %-12s\n", "load (pF)", "req (ns)", "buf area (λ²)")
+	for _, s := range res.Frontier.Sols {
+		fmt.Printf("  %-12.4f %-12.4f %-12.0f\n", s.Load, s.Req, s.Area)
+	}
+
+	en := core.NewEngine(nt, cands, lib, tech, opts)
+	final, err := en.Construct(res.FinalOrder)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nVariant I: max required time s.t. area budget")
+	fmt.Printf("  %-14s %-12s %-12s\n", "budget (λ²)", "req (ns)", "area used")
+	for _, budget := range []float64{2000, 5000, 10000, 20000, 50000, 1e9} {
+		sol, reqAt, err := en.Extract(final, core.Goal{Mode: core.GoalMaxReq, AreaBudget: budget})
+		if err != nil {
+			fmt.Printf("  %-14.0f (no feasible solution)\n", budget)
+			continue
+		}
+		fmt.Printf("  %-14.0f %-12.4f %-12.0f\n", budget, reqAt, sol.Area)
+	}
+
+	fmt.Println("\nVariant II: min area s.t. required-time floor")
+	fmt.Printf("  %-14s %-12s %-12s\n", "floor (ns)", "req (ns)", "area (λ²)")
+	bestSol, bestReq, err := en.Extract(final, core.Goal{Mode: core.GoalMaxReq})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = bestSol
+	for _, frac := range []float64{0.5, 0.8, 0.9, 0.95, 1.0} {
+		floor := bestReq * frac
+		sol, reqAt, err := en.Extract(final, core.Goal{Mode: core.GoalMinArea, ReqFloor: floor})
+		if err != nil {
+			fmt.Printf("  %-14.4f (no feasible solution)\n", floor)
+			continue
+		}
+		fmt.Printf("  %-14.4f %-12.4f %-12.0f\n", floor, reqAt, sol.Area)
+	}
+}

@@ -1,0 +1,109 @@
+// Package buflib provides the buffer library substrate. The paper's
+// experiments use "an industrial standard cell library (0.35u CMOS process)
+// that contains 34 buffers"; that library is proprietary, so this package
+// synthesizes a 34-step geometric strength ladder with the same structure:
+// as drive strength grows, the equivalent drive resistance falls, while input
+// capacitance and area grow. That monotone trade-off is what makes the 3-D
+// solution curves non-trivial, which is all the algorithms observe.
+package buflib
+
+import (
+	"fmt"
+	"math"
+
+	"merlin/internal/rc"
+)
+
+// Library is an ordered collection of buffers (weakest first) plus a default
+// driver model for net sources.
+type Library struct {
+	Buffers []rc.Gate
+	// Driver is the gate model used for a net's source pin when the caller
+	// does not supply one.
+	Driver rc.Gate
+}
+
+// NumPaperBuffers is the size of the paper's buffer library.
+const NumPaperBuffers = 34
+
+// Default035 builds the synthetic 34-buffer 0.35µ-class library described in
+// DESIGN.md §4. Sizes follow s_i = 1.15^i for i = 0..33 (≈ 1×–100× range):
+//
+//	drive resistance  K1 = 6.0 / s_i   kΩ
+//	input capacitance Cin = 3 fF · s_i^0.6
+//	area              = 400 λ² · s_i^0.8
+//	intrinsic delay   K0 = 0.06 + 0.015·ln(1+s_i) ns
+//
+// The driver is the mid-strength buffer.
+func Default035() *Library {
+	lib := &Library{Buffers: make([]rc.Gate, 0, NumPaperBuffers)}
+	for i := 0; i < NumPaperBuffers; i++ {
+		s := math.Pow(1.15, float64(i))
+		g := rc.Gate{
+			Name: fmt.Sprintf("BUF_X%02d", i+1),
+			K0:   0.06 + 0.015*math.Log(1+s),
+			K1:   6.0 / s,
+			K2:   0.12,
+			K3:   0.02 / s,
+			S0:   0.05,
+			S1:   4.5 / s,
+			Cin:  0.003 * math.Pow(s, 0.6),
+			Area: 400 * math.Pow(s, 0.8),
+		}
+		lib.Buffers = append(lib.Buffers, g)
+	}
+	lib.Driver = lib.Buffers[NumPaperBuffers/2]
+	return lib
+}
+
+// Small returns a reduced library with n buffers subsampled evenly from the
+// full ladder. Experiments on large nets use it to keep m (and thus runtime)
+// manageable, the same knob Theorem 6's complexity bound exposes.
+func (l *Library) Small(n int) *Library {
+	if n <= 0 || n >= len(l.Buffers) {
+		return l
+	}
+	out := &Library{Driver: l.Driver}
+	if n == 1 {
+		out.Buffers = []rc.Gate{l.Buffers[len(l.Buffers)/2]}
+		return out
+	}
+	step := float64(len(l.Buffers)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out.Buffers = append(out.Buffers, l.Buffers[int(math.Round(float64(i)*step))])
+	}
+	return out
+}
+
+// Validate checks every cell and the ladder's monotone structure: strength
+// strictly increases, so K1 strictly decreases while Cin and Area strictly
+// increase. A library violating this still works, but the default must not.
+func (l *Library) Validate() error {
+	if len(l.Buffers) == 0 {
+		return fmt.Errorf("buflib: empty library")
+	}
+	for _, b := range l.Buffers {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := l.Driver.Validate(); err != nil {
+		return fmt.Errorf("buflib: driver: %w", err)
+	}
+	for i := 1; i < len(l.Buffers); i++ {
+		prev, cur := l.Buffers[i-1], l.Buffers[i]
+		if cur.K1 >= prev.K1 {
+			return fmt.Errorf("buflib: %s does not drive harder than %s", cur.Name, prev.Name)
+		}
+		if cur.Cin <= prev.Cin || cur.Area <= prev.Area {
+			return fmt.Errorf("buflib: %s is not costlier than %s", cur.Name, prev.Name)
+		}
+	}
+	return nil
+}
+
+// Weakest returns the smallest buffer in the ladder.
+func (l *Library) Weakest() rc.Gate { return l.Buffers[0] }
+
+// Strongest returns the largest buffer in the ladder.
+func (l *Library) Strongest() rc.Gate { return l.Buffers[len(l.Buffers)-1] }

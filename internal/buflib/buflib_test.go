@@ -1,0 +1,78 @@
+package buflib
+
+import (
+	"testing"
+)
+
+func TestDefault035Shape(t *testing.T) {
+	lib := Default035()
+	if len(lib.Buffers) != NumPaperBuffers {
+		t.Fatalf("library has %d buffers, want %d (the paper's count)", len(lib.Buffers), NumPaperBuffers)
+	}
+	if err := lib.Validate(); err != nil {
+		t.Fatalf("default library invalid: %v", err)
+	}
+	if lib.Driver.Name == "" {
+		t.Fatal("no default driver")
+	}
+}
+
+func TestLadderMonotone(t *testing.T) {
+	lib := Default035()
+	for i := 1; i < len(lib.Buffers); i++ {
+		prev, cur := lib.Buffers[i-1], lib.Buffers[i]
+		if cur.K1 >= prev.K1 {
+			t.Errorf("drive resistance must strictly fall: %s %.4f vs %s %.4f", prev.Name, prev.K1, cur.Name, cur.K1)
+		}
+		if cur.Cin <= prev.Cin {
+			t.Errorf("input cap must strictly rise: %s vs %s", prev.Name, cur.Name)
+		}
+		if cur.Area <= prev.Area {
+			t.Errorf("area must strictly rise: %s vs %s", prev.Name, cur.Name)
+		}
+	}
+	if lib.Weakest().Name != lib.Buffers[0].Name || lib.Strongest().Name != lib.Buffers[len(lib.Buffers)-1].Name {
+		t.Error("Weakest/Strongest must be the ladder ends")
+	}
+}
+
+func TestSmall(t *testing.T) {
+	lib := Default035()
+	for _, n := range []int{1, 2, 5, 10, 33} {
+		sub := lib.Small(n)
+		if len(sub.Buffers) != n {
+			t.Fatalf("Small(%d) returned %d buffers", n, len(sub.Buffers))
+		}
+		if err := sub.Validate(); err != nil {
+			t.Fatalf("Small(%d) invalid: %v", n, err)
+		}
+	}
+	// Small keeps the ladder ends for n >= 2.
+	sub := lib.Small(7)
+	if sub.Buffers[0].Name != lib.Buffers[0].Name {
+		t.Error("Small must keep the weakest buffer")
+	}
+	if sub.Buffers[len(sub.Buffers)-1].Name != lib.Buffers[len(lib.Buffers)-1].Name {
+		t.Error("Small must keep the strongest buffer")
+	}
+	// Out-of-range requests return the library itself.
+	if got := lib.Small(0); got != lib {
+		t.Error("Small(0) must be the identity")
+	}
+	if got := lib.Small(100); got != lib {
+		t.Error("Small(>len) must be the identity")
+	}
+}
+
+func TestValidateRejectsBrokenLadder(t *testing.T) {
+	lib := Default035()
+	b := &Library{Driver: lib.Driver}
+	b.Buffers = append(b.Buffers, lib.Buffers[5], lib.Buffers[2]) // descending strength order
+	if err := b.Validate(); err == nil {
+		t.Error("non-monotone ladder must fail validation")
+	}
+	empty := &Library{Driver: lib.Driver}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty library must fail validation")
+	}
+}

@@ -1,0 +1,311 @@
+// Package circuit is the mapped-netlist substrate for the Table 2
+// experiments. The paper evaluates post-layout area and delay on ISCAS-85 /
+// MCNC benchmarks mapped through SIS; those netlists (and SIS itself) are
+// not reproducible here, so this package synthesizes seeded random
+// combinational DAGs whose statistical profile — gate count, fan-in, fanout
+// distribution, logic depth — is what actually exercises the buffered
+// routing flows. See DESIGN.md §4 for the substitution rationale.
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"merlin/internal/rc"
+)
+
+// CellKind identifies a cell template of the mapped library.
+type CellKind int
+
+const (
+	CellInv CellKind = iota
+	CellNand2
+	CellNor2
+	CellAnd3
+	CellOr3
+	CellXor2
+	numCellKinds
+)
+
+// Cell couples a logic template with its timing model.
+type Cell struct {
+	Kind   CellKind
+	Fanin  int
+	Timing rc.Gate
+}
+
+// CellSet returns the mapped-gate library used by the synthetic circuits:
+// simple cells with a 4-parameter timing model scaled by fan-in.
+func CellSet() []Cell {
+	mk := func(kind CellKind, name string, fanin int, drive float64) Cell {
+		return Cell{
+			Kind:  kind,
+			Fanin: fanin,
+			Timing: rc.Gate{
+				Name: name,
+				K0:   0.05 + 0.02*float64(fanin),
+				K1:   2.2 / drive,
+				K2:   0.10,
+				K3:   0.015 / drive,
+				S0:   0.05,
+				S1:   2.0 / drive,
+				Cin:  0.006 + 0.002*float64(fanin),
+				Area: 500 * float64(fanin) * drive,
+			},
+		}
+	}
+	return []Cell{
+		mk(CellInv, "INV_X1", 1, 1.0),
+		mk(CellNand2, "NAND2_X1", 2, 1.0),
+		mk(CellNor2, "NOR2_X1", 2, 0.8),
+		mk(CellAnd3, "AND3_X1", 3, 1.0),
+		mk(CellOr3, "OR3_X1", 3, 0.9),
+		mk(CellXor2, "XOR2_X1", 2, 0.7),
+	}
+}
+
+// Gate is one instance in the netlist. Gate 0..NumPIs-1 are primary inputs
+// (no cell, no fan-ins).
+type Gate struct {
+	ID   int
+	Cell *Cell // nil for primary inputs
+	// Fanins lists driver gate IDs, one per input pin.
+	Fanins []int
+	// IsPO marks gates whose outputs are primary outputs.
+	IsPO bool
+}
+
+// Circuit is a combinational netlist in topological order: every gate's
+// fan-ins have smaller IDs.
+type Circuit struct {
+	Name  string
+	Gates []*Gate
+	// NumPIs is the count of primary inputs (gates 0..NumPIs-1).
+	NumPIs int
+	// Fanouts[i] lists gate IDs driven by gate i (derived).
+	Fanouts [][]int
+}
+
+// Profile parameterizes the synthetic generator.
+type Profile struct {
+	Name    string
+	NumPIs  int
+	NumGate int // internal gates (excluding PIs)
+	NumPOs  int
+	// Locality biases fan-in selection toward recent gates, shaping logic
+	// depth: 0 = uniform (shallow), 1 = strongly local (deep).
+	Locality float64
+	Seed     int64
+}
+
+// Generate builds a random combinational DAG per the profile. Every
+// non-PO gate is guaranteed at least one fanout (no dangling logic).
+func Generate(p Profile) (*Circuit, error) {
+	if p.NumPIs < 1 || p.NumGate < 1 {
+		return nil, fmt.Errorf("circuit: profile %q needs PIs and gates", p.Name)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	cells := CellSet()
+	c := &Circuit{Name: p.Name, NumPIs: p.NumPIs}
+	total := p.NumPIs + p.NumGate
+	for i := 0; i < p.NumPIs; i++ {
+		c.Gates = append(c.Gates, &Gate{ID: i})
+	}
+	for i := p.NumPIs; i < total; i++ {
+		cell := &cells[rng.Intn(len(cells))]
+		g := &Gate{ID: i, Cell: cell}
+		for in := 0; in < cell.Fanin; in++ {
+			g.Fanins = append(g.Fanins, pickSource(rng, i, p.Locality))
+		}
+		c.Gates = append(c.Gates, g)
+	}
+	// Primary outputs: the last NumPOs gates, plus any gate left without
+	// fanout becomes a PO so no logic dangles.
+	nPOs := p.NumPOs
+	if nPOs < 1 {
+		nPOs = 1
+	}
+	for i := total - nPOs; i < total; i++ {
+		if i >= p.NumPIs {
+			c.Gates[i].IsPO = true
+		}
+	}
+	c.rebuildFanouts()
+	for i := p.NumPIs; i < total; i++ {
+		if len(c.Fanouts[i]) == 0 {
+			c.Gates[i].IsPO = true
+		}
+	}
+	return c, c.Validate()
+}
+
+// pickSource selects a fan-in for gate i with locality bias.
+func pickSource(rng *rand.Rand, i int, locality float64) int {
+	if locality <= 0 {
+		return rng.Intn(i)
+	}
+	// Exponential window: mostly within the last w gates.
+	w := 1 + int(float64(i)*math.Pow(rng.Float64(), 1+4*locality))
+	lo := i - w
+	if lo < 0 {
+		lo = 0
+	}
+	return lo + rng.Intn(i-lo)
+}
+
+// rebuildFanouts recomputes the Fanouts index.
+func (c *Circuit) rebuildFanouts() {
+	c.Fanouts = make([][]int, len(c.Gates))
+	for _, g := range c.Gates {
+		for _, f := range g.Fanins {
+			c.Fanouts[f] = append(c.Fanouts[f], g.ID)
+		}
+	}
+}
+
+// Validate checks topological order, fan-in sanity and PO coverage.
+func (c *Circuit) Validate() error {
+	for _, g := range c.Gates {
+		if g.ID < c.NumPIs {
+			if g.Cell != nil || len(g.Fanins) != 0 {
+				return fmt.Errorf("circuit %s: PI %d has logic", c.Name, g.ID)
+			}
+			continue
+		}
+		if g.Cell == nil {
+			return fmt.Errorf("circuit %s: gate %d has no cell", c.Name, g.ID)
+		}
+		if len(g.Fanins) != g.Cell.Fanin {
+			return fmt.Errorf("circuit %s: gate %d fanin mismatch", c.Name, g.ID)
+		}
+		for _, f := range g.Fanins {
+			if f < 0 || f >= g.ID {
+				return fmt.Errorf("circuit %s: gate %d has non-topological fanin %d", c.Name, g.ID, f)
+			}
+		}
+	}
+	pos := 0
+	for _, g := range c.Gates {
+		if g.IsPO {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return fmt.Errorf("circuit %s: no primary outputs", c.Name)
+	}
+	return nil
+}
+
+// NumGates returns the internal (non-PI) gate count.
+func (c *Circuit) NumGates() int { return len(c.Gates) - c.NumPIs }
+
+// GateArea returns the total mapped cell area (λ²).
+func (c *Circuit) GateArea() float64 {
+	var a float64
+	for _, g := range c.Gates {
+		if g.Cell != nil {
+			a += g.Cell.Timing.Area
+		}
+	}
+	return a
+}
+
+// Levels returns each gate's logic level (PIs are level 0) and the maximum.
+func (c *Circuit) Levels() ([]int, int) {
+	lv := make([]int, len(c.Gates))
+	max := 0
+	for _, g := range c.Gates {
+		for _, f := range g.Fanins {
+			if lv[f]+1 > lv[g.ID] {
+				lv[g.ID] = lv[f] + 1
+			}
+		}
+		if lv[g.ID] > max {
+			max = lv[g.ID]
+		}
+	}
+	return lv, max
+}
+
+// FanoutHistogram returns counts of nets by fanout (index = fanout count,
+// capped at the slice end).
+func (c *Circuit) FanoutHistogram(maxBucket int) []int {
+	h := make([]int, maxBucket+1)
+	for i := range c.Gates {
+		f := len(c.Fanouts[i])
+		if c.Gates[i].IsPO {
+			f++ // the PO pin counts as a sink
+		}
+		if f > maxBucket {
+			f = maxBucket
+		}
+		h[f]++
+	}
+	return h
+}
+
+// Benchmark is a named Table 2 workload: the paper's circuit with a size
+// profile scaled to this repository's budget (DESIGN.md §4).
+type Benchmark struct {
+	Name string
+	// PaperArea and PaperDelay are Flow I reference values from Table 2
+	// (×1000 λ² and ns), kept for EXPERIMENTS.md comparisons.
+	PaperArea  float64
+	PaperDelay float64
+	Profile    Profile
+}
+
+// Table2Benchmarks returns the 15 circuits of Table 2. Gate counts are the
+// paper's Flow I areas divided by a nominal mapped-gate area and scaled by
+// the given factor in (0,1] so the full flow fits a test budget; scale 1
+// approximates the original sizes.
+func Table2Benchmarks(scale float64) []Benchmark {
+	if scale <= 0 {
+		scale = 1
+	}
+	paper := []struct {
+		name        string
+		area, delay float64
+	}{
+		{"C1355", 3630, 8.18},
+		{"C1908", 7768, 14.47},
+		{"C2670", 9428, 12.40},
+		{"C3540", 15762, 22.17},
+		{"C432", 3574, 10.13},
+		{"C6288", 28497, 52.94},
+		{"C7552", 35189, 19.80},
+		{"Alu4", 8191, 15.69},
+		{"B9", 1210, 2.81},
+		{"Dalu", 10344, 18.59},
+		{"Desa", 32388, 27.00},
+		{"Duke2", 5499, 9.00},
+		{"K2", 22823, 26.66},
+		{"Rot", 8315, 7.80},
+		{"T481", 8917, 10.12},
+	}
+	const nominalGateArea = 1200.0 // λ², a mid-size mapped cell
+	var out []Benchmark
+	for i, p := range paper {
+		gates := int(p.area * 1000 / nominalGateArea * scale)
+		if gates < 12 {
+			gates = 12
+		}
+		pis := gates/6 + 2
+		pos := gates/8 + 1
+		out = append(out, Benchmark{
+			Name:       p.name,
+			PaperArea:  p.area,
+			PaperDelay: p.delay,
+			Profile: Profile{
+				Name:     p.name,
+				NumPIs:   pis,
+				NumGate:  gates,
+				NumPOs:   pos,
+				Locality: 0.5,
+				Seed:     int64(1000 + i),
+			},
+		})
+	}
+	return out
+}

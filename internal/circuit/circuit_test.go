@@ -1,0 +1,160 @@
+package circuit
+
+import (
+	"testing"
+)
+
+func prof(gates int, seed int64) Profile {
+	return Profile{Name: "t", NumPIs: 8, NumGate: gates, NumPOs: 4, Locality: 0.5, Seed: seed}
+}
+
+func TestGenerateValid(t *testing.T) {
+	for _, g := range []int{1, 10, 100, 400} {
+		c, err := Generate(prof(g, 1))
+		if err != nil {
+			t.Fatalf("gates=%d: %v", g, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("gates=%d: %v", g, err)
+		}
+		if c.NumGates() != g {
+			t.Fatalf("gates=%d: NumGates=%d", g, c.NumGates())
+		}
+	}
+}
+
+func TestGenerateReproducible(t *testing.T) {
+	a, _ := Generate(prof(50, 9))
+	b, _ := Generate(prof(50, 9))
+	for i := range a.Gates {
+		ga, gb := a.Gates[i], b.Gates[i]
+		if (ga.Cell == nil) != (gb.Cell == nil) || len(ga.Fanins) != len(gb.Fanins) {
+			t.Fatal("same seed, different circuit")
+		}
+		for j := range ga.Fanins {
+			if ga.Fanins[j] != gb.Fanins[j] {
+				t.Fatal("same seed, different fanins")
+			}
+		}
+	}
+}
+
+func TestNoDanglingLogic(t *testing.T) {
+	c, _ := Generate(prof(120, 3))
+	for g := c.NumPIs; g < len(c.Gates); g++ {
+		if len(c.Fanouts[g]) == 0 && !c.Gates[g].IsPO {
+			t.Fatalf("gate %d has no fanout and is not a PO", g)
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c, _ := Generate(prof(200, 4))
+	lv, max := c.Levels()
+	if max <= 0 {
+		t.Fatal("no logic depth")
+	}
+	for _, g := range c.Gates {
+		for _, f := range g.Fanins {
+			if lv[f] >= lv[g.ID] {
+				t.Fatalf("level inversion at gate %d", g.ID)
+			}
+		}
+	}
+}
+
+func TestLocalityShapesDepth(t *testing.T) {
+	shallow, _ := Generate(Profile{Name: "s", NumPIs: 10, NumGate: 300, NumPOs: 5, Locality: 0, Seed: 7})
+	deep, _ := Generate(Profile{Name: "d", NumPIs: 10, NumGate: 300, NumPOs: 5, Locality: 1, Seed: 7})
+	_, ds := shallow.Levels()
+	_, dd := deep.Levels()
+	if dd <= ds {
+		t.Fatalf("locality must deepen the DAG: %d vs %d", ds, dd)
+	}
+}
+
+func TestFanoutHistogram(t *testing.T) {
+	c, _ := Generate(prof(150, 5))
+	h := c.FanoutHistogram(10)
+	total := 0
+	for _, v := range h {
+		total += v
+	}
+	if total != len(c.Gates) {
+		t.Fatalf("histogram covers %d of %d gates", total, len(c.Gates))
+	}
+	multi := 0
+	for f := 2; f < len(h); f++ {
+		multi += h[f]
+	}
+	if multi == 0 {
+		t.Fatal("no multi-fanout nets — Table 2 flows would be vacuous")
+	}
+}
+
+func TestCellSet(t *testing.T) {
+	cells := CellSet()
+	if len(cells) != int(numCellKinds) {
+		t.Fatalf("cell set has %d kinds, want %d", len(cells), numCellKinds)
+	}
+	for _, c := range cells {
+		if err := c.Timing.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Timing.Name, err)
+		}
+		if c.Fanin < 1 || c.Fanin > 4 {
+			t.Fatalf("%s: fanin %d", c.Timing.Name, c.Fanin)
+		}
+	}
+}
+
+func TestGateArea(t *testing.T) {
+	c, _ := Generate(prof(60, 6))
+	if c.GateArea() <= 0 {
+		t.Fatal("non-positive gate area")
+	}
+}
+
+func TestTable2Benchmarks(t *testing.T) {
+	benches := Table2Benchmarks(0.1)
+	if len(benches) != 15 {
+		t.Fatalf("want the paper's 15 circuits, got %d", len(benches))
+	}
+	names := map[string]bool{}
+	for _, b := range benches {
+		if names[b.Name] {
+			t.Fatalf("duplicate benchmark %s", b.Name)
+		}
+		names[b.Name] = true
+		if b.Profile.NumGate < 12 {
+			t.Fatalf("%s: degenerate gate count %d", b.Name, b.Profile.NumGate)
+		}
+		if _, err := Generate(b.Profile); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+	}
+	// Scale must scale.
+	small := Table2Benchmarks(0.05)
+	big := Table2Benchmarks(0.5)
+	if small[0].Profile.NumGate >= big[0].Profile.NumGate {
+		t.Fatal("scale knob has no effect")
+	}
+	// Relative circuit sizes follow the paper's areas: C6288 > B9.
+	var c6288, b9 int
+	for _, b := range benches {
+		switch b.Name {
+		case "C6288":
+			c6288 = b.Profile.NumGate
+		case "B9":
+			b9 = b.Profile.NumGate
+		}
+	}
+	if c6288 <= b9 {
+		t.Fatal("benchmark size ordering does not follow the paper")
+	}
+}
+
+func TestGenerateRejectsBadProfiles(t *testing.T) {
+	if _, err := Generate(Profile{Name: "bad"}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"merlin/internal/order"
+)
+
+func TestAnnealRuns(t *testing.T) {
+	nt, cands, lib, tech := testSetup(6, 9, 8)
+	opts := DefaultAnnealOptions()
+	opts.Engine = exactOpts()
+	opts.Engine.MaxSols = 5
+	opts.Moves = 5
+	res, err := Anneal(nt, cands, lib, tech, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loops != opts.Moves {
+		t.Fatalf("ran %d evaluations, want %d", res.Loops, opts.Moves)
+	}
+	if res.Tree == nil {
+		t.Fatal("no tree committed")
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !res.FinalOrder.Valid() {
+		t.Fatalf("final order %v invalid", res.FinalOrder)
+	}
+	t.Logf("req=%.4f accepted=%d uphill=%d", res.ReqAtDriverInput, res.Accepted, res.Uphill)
+}
+
+// TestAnnealNeverWorseThanFirstMove: the committed best can only improve on
+// the initial evaluation — the annealer keeps the best-so-far.
+func TestAnnealNeverWorseThanFirstMove(t *testing.T) {
+	nt, cands, lib, tech := testSetup(6, 31, 8)
+	eopts := exactOpts()
+	eopts.MaxSols = 5
+	_, first, err := BubbleConstructOnce(nt, cands, lib, tech, eopts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aopts := DefaultAnnealOptions()
+	aopts.Engine = eopts
+	aopts.Moves = 6
+	res, err := Anneal(nt, cands, lib, tech, aopts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solution.Req < first.Req-1e-9 {
+		t.Fatalf("annealer's best (%.6f) is worse than its own first move (%.6f)", res.Solution.Req, first.Req)
+	}
+}
+
+func TestAnnealRejectsBadOrder(t *testing.T) {
+	nt, cands, lib, tech := testSetup(4, 2, 6)
+	opts := DefaultAnnealOptions()
+	opts.Engine = exactOpts()
+	if _, err := Anneal(nt, cands, lib, tech, opts, order.Order{0, 1}); err == nil {
+		t.Fatal("short initial order accepted")
+	}
+}

@@ -1,0 +1,882 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+
+	"merlin/internal/buflib"
+	"merlin/internal/curve"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+	"merlin/internal/tree"
+)
+
+// GoalMode selects the problem variant of §III.1.
+type GoalMode int
+
+const (
+	// GoalMaxReq maximizes the driver required time, optionally subject to a
+	// total buffer area budget (variant I).
+	GoalMaxReq GoalMode = iota
+	// GoalMinArea minimizes total buffer area subject to a required-time
+	// floor at the driver input (variant II).
+	GoalMinArea
+)
+
+// Goal is the optimization objective handed to extraction (Fig. 9 line 21).
+type Goal struct {
+	Mode GoalMode
+	// AreaBudget caps total buffer area for GoalMaxReq; 0 means unbounded.
+	AreaBudget float64
+	// ReqFloor is the minimum driver-input required time for GoalMinArea.
+	ReqFloor float64
+}
+
+// Options tune BUBBLE_CONSTRUCT and MERLIN.
+type Options struct {
+	// Alpha is the maximum branching factor α of the Cα_Tree (Definition 2).
+	Alpha int
+	// MaxSols caps every solution curve; 0 = uncapped. See DESIGN.md §5.
+	MaxSols int
+	// TransferHops is the number of candidate-to-candidate relaxation sweeps
+	// per DP interval (the S = min{d(p,p′)+S′} recursion of §3.2.3).
+	TransferHops int
+	// BufferAtSteiner enables buffer insertion at interior routing Steiner
+	// points (the full *P_Tree). When false, buffers appear only at Cα_Tree
+	// internal nodes.
+	BufferAtSteiner bool
+	// RootWindow restricts the candidate roots of each sub-group to points
+	// within its sink bounding box inflated by this fraction of the net's
+	// half-perimeter (plus the source, always). 0 disables the restriction.
+	// This is the standard P-Tree candidate-pruning heuristic: structures
+	// rooted far from everything they drive are dominated once the
+	// connecting wire is charged. It cuts the k² transfer and k join work
+	// per sub-problem at a small optimality cost (measured in the E6/E8
+	// benches).
+	RootWindow float64
+	// MaxInternalChildren bounds how many internal nodes an internal node
+	// may have among its immediate children. 1 (the default) is Definition
+	// 2's Cα_Tree, whose internal nodes form a chain (Lemma 2); 2 enables
+	// the relaxed class §3.2.1 mentions, at a significant enumeration cost.
+	MaxInternalChildren int
+	// ForceGroupBuffers drops unbuffered roots from every sub-group curve,
+	// so each internal node of the hierarchy really is a buffer and the
+	// output is a strict Cα_Tree (Definition 2). The paper's base case keeps
+	// both options ("driven with or without a buffer"), letting a group stay
+	// a plain Steiner point; structural tests use this switch to pin the
+	// strict form, where the buffer-fanout bound α is observable in the
+	// final tree.
+	ForceGroupBuffers bool
+	// Chis lists the grouping structures to explore. nil means all four;
+	// []Chi{Chi0} disables bubbling (the ablation of experiment E8).
+	Chis []Chi
+	// MaxLoops bounds MERLIN's outer iterations; 0 means run to the order
+	// fixpoint (Theorem 7 guarantees termination).
+	MaxLoops int
+	// Goal selects the extraction objective.
+	Goal Goal
+}
+
+// DefaultOptions returns a balanced configuration.
+func DefaultOptions() Options {
+	return Options{
+		Alpha:           8,
+		MaxSols:         8,
+		TransferHops:    1,
+		BufferAtSteiner: true,
+		RootWindow:      0.08,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha <= 0 {
+		o.Alpha = 8
+	}
+	if o.TransferHops <= 0 {
+		o.TransferHops = 1
+	}
+	if len(o.Chis) == 0 {
+		o.Chis = []Chi{Chi0, Chi1, Chi2, Chi3}
+	}
+	return o
+}
+
+// refKind discriminates ref shapes.
+type refKind int8
+
+const (
+	refLeaf refKind = iota // direct wire from point to sink
+	refJoin                // two sub-structures joined at point (a=left, b=right)
+	refVia                 // wire from point to a's point
+	refBuf                 // buffer gate at point driving a
+)
+
+// ref reconstructs buffered routing structures from solution curves. It is
+// deliberately compact — a Construct holds millions of live refs, and GC
+// scan time of this graph dominated the profile before the shrink.
+type ref struct {
+	kind  refKind
+	point int32 // candidate index the structure is rooted at
+	sink  int32 // leaf: net sink index
+	a, b  *ref
+	gate  *rc.Gate // refBuf only
+}
+
+// Engine runs BUBBLE_CONSTRUCT for one net over a fixed candidate set,
+// library and technology. It is reusable across MERLIN iterations; the
+// sink-run memo persists so overlapping neighborhoods share sub-solutions
+// (the OVERLAP reuse discussed in §III.4).
+type Engine struct {
+	Net   *net.Net
+	Cands []geom.Point
+	Lib   *buflib.Library
+	Tech  rc.Technology
+	Opts  Options
+
+	srcIdx int
+	dist   [][]int64
+	margin int64 // root-window inflation in λ (0 = unrestricted)
+
+	// memo caches interval curves for runs of directly-attached sinks,
+	// keyed by the exact net-sink sequence. Entries are valid across
+	// (L,E,R) sub-problems and across MERLIN iterations because such runs
+	// are self-contained sub-problems (Lemma 7).
+	memo map[string][]*curve.Curve
+
+	// gammaMemo caches Γ sub-problem curves across MERLIN iterations, keyed
+	// by content (grouping structure + the exact sink sequence): the curves
+	// of a sub-group depend only on which sinks it holds in which realized
+	// order, not on the positions, so overlapping neighborhoods of
+	// consecutive iterations share them. This is the OVERLAP optimization of
+	// §III.4 ("keep the solution curves of the very last iteration ...
+	// at the cost of doubling the memory usage").
+	gammaMemo map[string][]*curve.Curve
+
+	// starMemo caches whole *PTREE invocations by content: the inner group's
+	// content key plus the ordered directly-attached sinks. Bubble-aligned
+	// nestings frequently produce identical item lists from different
+	// (l,e,r) enumerations; this is the call-level complement of gammaMemo.
+	starMemo map[string][]*curve.Curve
+
+	// stats
+	StarDPCalls int
+	MemoHits    int
+}
+
+// newRef heap-allocates a ref. (A chunked arena was measurably faster but
+// pinned every pruned solution's ref for the lifetime of the run — a large
+// memory leak on big nets — so refs are individually collectable.)
+func (en *Engine) newRef(r ref) *ref {
+	p := new(ref)
+	*p = r
+	return p
+}
+
+// NewEngine prepares an engine. The candidate set is deduplicated and the
+// source position appended if missing.
+func NewEngine(n *net.Net, cands []geom.Point, lib *buflib.Library, tech rc.Technology, opts Options) *Engine {
+	en := &Engine{
+		Net: n, Lib: lib, Tech: tech, Opts: opts.withDefaults(),
+		memo:      map[string][]*curve.Curve{},
+		gammaMemo: map[string][]*curve.Curve{},
+		starMemo:  map[string][]*curve.Curve{},
+	}
+	en.Cands = geom.Dedup(cands)
+	en.srcIdx = -1
+	for i, p := range en.Cands {
+		if p == n.Source {
+			en.srcIdx = i
+			break
+		}
+	}
+	if en.srcIdx < 0 {
+		en.srcIdx = len(en.Cands)
+		en.Cands = append(en.Cands, n.Source)
+	}
+	k := len(en.Cands)
+	en.dist = make([][]int64, k)
+	for i := range en.dist {
+		en.dist[i] = make([]int64, k)
+		for j := range en.dist[i] {
+			en.dist[i][j] = geom.Dist(en.Cands[i], en.Cands[j])
+		}
+	}
+	if en.Opts.RootWindow > 0 {
+		hp := geom.BoundingBox(n.Terminals()).HalfPerimeter()
+		en.margin = int64(en.Opts.RootWindow * float64(hp))
+	}
+	return en
+}
+
+// intervalMask returns, for a run of items, which candidate roots are inside
+// the items' inflated bounding box (the source is always allowed). A nil
+// return means "all allowed".
+func (en *Engine) intervalMask(items []item) []bool {
+	if en.Opts.RootWindow <= 0 {
+		return nil
+	}
+	box := items[0].bbox
+	for _, it := range items[1:] {
+		b := it.bbox
+		if b.Min.X < box.Min.X {
+			box.Min.X = b.Min.X
+		}
+		if b.Min.Y < box.Min.Y {
+			box.Min.Y = b.Min.Y
+		}
+		if b.Max.X > box.Max.X {
+			box.Max.X = b.Max.X
+		}
+		if b.Max.Y > box.Max.Y {
+			box.Max.Y = b.Max.Y
+		}
+	}
+	box.Min.X -= en.margin
+	box.Min.Y -= en.margin
+	box.Max.X += en.margin
+	box.Max.Y += en.margin
+	mask := make([]bool, len(en.Cands))
+	for i, p := range en.Cands {
+		mask[i] = box.Contains(p)
+	}
+	mask[en.srcIdx] = true
+	return mask
+}
+
+// SourceIndex returns the candidate index of the net source.
+func (en *Engine) SourceIndex() int { return en.srcIdx }
+
+// item is one child of the sub-group being constructed: either a directly
+// attached sink or the (single) inner sub-group.
+type item struct {
+	group    []*curve.Curve // per-candidate curves of the inner group; nil for sinks
+	groupKey string         // content key of the group (gammaKey form)
+	sinkIdx  int            // net sink index (valid when group == nil)
+	pos      int            // order position (sinks only; diagnostic)
+	bbox     geom.Rect      // bounding box of the item's sinks (root window)
+}
+
+// Construct runs BUBBLE_CONSTRUCT (Fig. 9) for the given sink order and
+// returns the final per-candidate solution curves Γ(n, χ0, R=n−1, ·).
+// Use Extract / BuildTree on the result.
+func (en *Engine) Construct(ord order.Order) ([]*curve.Curve, error) {
+	n := len(ord)
+	if n == 0 || n != en.Net.N() || !ord.Valid() {
+		return nil, fmt.Errorf("core: order must be a permutation of the %d sinks", en.Net.N())
+	}
+	// The DP's working set is a large, long-lived pointer graph; with the
+	// default GC target the collector spends more time re-scanning it than
+	// the DP spends computing. Trade heap headroom for throughput while the
+	// construction runs.
+	defer debug.SetGCPercent(debug.SetGCPercent(300))
+	k := len(en.Cands)
+
+	// Γ(L, E, R, ·); indexed [L-1][E][R]. Entries stay nil when the span
+	// does not fit.
+	gamma := make([][][][]*curve.Curve, n)
+	for L := range gamma {
+		gamma[L] = make([][][]*curve.Curve, NumChi)
+		for e := range gamma[L] {
+			gamma[L][e] = make([][]*curve.Curve, n)
+		}
+	}
+	gam := func(l int, e Chi, r int) []*curve.Curve { return gamma[l-1][e][r] }
+
+	// INITIALIZATION (lines 1–4): length-1 sub-groups for every structure,
+	// candidate and rightmost position: non-inferior paths from the
+	// candidate to the (single) sink, driven with or without a buffer.
+	for _, e := range en.Opts.Chis {
+		for r := 0; r < n; r++ {
+			if !SpanFits(n, r, 1, e) {
+				continue
+			}
+			g := SinkSet(r, 1+Stretch(e), e)
+			if len(g) != 1 {
+				continue
+			}
+			sinkIdx := ord[g[0]]
+			key := gammaKey(e, []int{sinkIdx})
+			if cached, ok := en.gammaMemo[key]; ok {
+				gamma[0][e][r] = cached
+				continue
+			}
+			cs := make([]*curve.Curve, k)
+			for p := 0; p < k; p++ {
+				c := en.leafCurve(p, sinkIdx)
+				en.addBufferedVariants(c, p)
+				c.Cap(en.Opts.MaxSols)
+				cs[p] = c
+			}
+			gamma[0][e][r] = cs
+			en.gammaMemo[key] = cs
+		}
+	}
+
+	// CONSTRUCTION (lines 5–20).
+	for L := 2; L <= n; L++ {
+		for _, E := range en.Opts.Chis {
+			span := L + Stretch(E)
+			if span > n {
+				continue
+			}
+			for R := n - 1; R >= span-1; R-- {
+				if !SpanFits(n, R, L, E) {
+					continue
+				}
+				G := SinkSet(R, span, E)
+				Gids := make([]int, len(G))
+				for i, q := range G {
+					Gids[i] = ord[q]
+				}
+				key := gammaKey(E, Gids)
+				if cached, ok := en.gammaMemo[key]; ok {
+					gamma[L-1][E][R] = cached
+					continue
+				}
+				inG := make(map[int]bool, len(G))
+				for _, p := range G {
+					inG[p] = true
+				}
+				acc := make([]*curve.Curve, k)
+				for p := range acc {
+					acc[p] = &curve.Curve{}
+				}
+				lMin := 1
+				if L-en.Opts.Alpha+1 > lMin {
+					lMin = L - en.Opts.Alpha + 1
+				}
+				for l := lMin; l <= L-1; l++ {
+					for _, e := range en.Opts.Chis {
+						ispan := l + Stretch(e)
+						if ispan < minSpan(e) {
+							continue
+						}
+						for r := R; r-ispan+1 >= R-span+1; r-- {
+							if !SpanFits(n, r, l, e) {
+								continue
+							}
+							g := SinkSet(r, ispan, e)
+							if len(g) != l {
+								continue
+							}
+							inner := gam(l, e, r)
+							if inner == nil {
+								continue
+							}
+							// Line 15: skip incompatible nestings (g ⊄ G).
+							ok := true
+							for _, q := range g {
+								if !inG[q] {
+									ok = false
+									break
+								}
+							}
+							if !ok {
+								continue
+							}
+							gids := make([]int, len(g))
+							for i, q := range g {
+								gids[i] = ord[q]
+							}
+							items := en.buildItems(ord, G, g, r, ispan, e, inner, gammaKey(e, gids))
+							res := en.starDP(items)
+							for p := 0; p < k; p++ {
+								for _, s := range res[p].Sols {
+									acc[p].InsertSol(s)
+								}
+							}
+						}
+					}
+				}
+				if en.Opts.MaxInternalChildren >= 2 && L >= 3 {
+					en.enumeratePairs(ord, G, inG, L, R, span, gam, acc)
+				}
+				any := false
+				for p := 0; p < k; p++ {
+					acc[p].Cap(en.Opts.MaxSols)
+					if !acc[p].Empty() {
+						any = true
+					}
+				}
+				if any {
+					gamma[L-1][E][R] = acc
+					en.gammaMemo[key] = acc
+				}
+			}
+		}
+	}
+
+	final := gamma[n-1][Chi0][n-1]
+	if final == nil {
+		return nil, fmt.Errorf("core: no solution constructed (n=%d, α=%d)", n, en.Opts.Alpha)
+	}
+	return final, nil
+}
+
+// gammaKey is the content identity of a Γ sub-problem: grouping structure
+// plus the exact realized sink sequence. Sub-problems with equal keys have
+// identical solution curves regardless of where in the order they sit or
+// which MERLIN iteration asks (Lemma 7 across the whole run).
+func gammaKey(e Chi, ids []int) string {
+	var b strings.Builder
+	b.WriteByte(byte('0' + int(e)))
+	for _, id := range ids {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(id))
+	}
+	return b.String()
+}
+
+// leafCurve is the minimum-distance path from candidate p to a sink.
+func (en *Engine) leafCurve(p, sinkIdx int) *curve.Curve {
+	sk := en.Net.Sinks[sinkIdx]
+	wl := geom.Dist(en.Cands[p], sk.Pos)
+	c := &curve.Curve{}
+	c.Add(curve.Solution{
+		Load: en.Tech.QuantizeLoad(sk.Load + en.Tech.WireC(wl)),
+		Req:  sk.Req - en.Tech.WireElmore(wl, sk.Load),
+		Ref:  &ref{kind: refLeaf, point: int32(p), sink: int32(sinkIdx)},
+	})
+	return c
+}
+
+// addBufferedVariants inserts into c, for every current solution and every
+// library buffer, the variant driven by that buffer placed at candidate p.
+// c must already be pruned; it stays pruned.
+func (en *Engine) addBufferedVariants(c *curve.Curve, p int) {
+	base := append([]curve.Solution(nil), c.Sols...) // inserts mutate in place
+	bs := summarize(base)
+	for bi := range en.Lib.Buffers {
+		b := &en.Lib.Buffers[bi]
+		cin := en.Tech.QuantizeLoad(b.Cin)
+		if c.Dominated(cin, bs.maxReq-b.DelayNominal(en.Tech, bs.minLoad), bs.minArea+b.Area) {
+			continue
+		}
+		for si := range base {
+			s := &base[si]
+			req := s.Req - b.DelayNominal(en.Tech, s.Load)
+			if c.TryInsert(cin, req, s.Area+b.Area, nil) {
+				c.Sols[len(c.Sols)-1].Ref = en.newRef(ref{kind: refBuf, point: int32(p), gate: b, a: s.Ref.(*ref)})
+			}
+		}
+	}
+}
+
+// buildItems assembles the ordered child list of the sub-group being built:
+// the inner group plus the directly attached sinks G−g. Bubble-out (Fig. 5):
+// a sink occupying the inner group's right hole is ordered immediately after
+// the group; one occupying the left hole immediately before it. Keys are in
+// half-position units to express "just before/after".
+func (en *Engine) buildItems(ord order.Order, G, g []int, r, ispan int, e Chi, inner []*curve.Curve, groupKey string) []item {
+	ing := make(map[int]bool, len(g))
+	for _, q := range g {
+		ing[q] = true
+	}
+	left := r - ispan + 1
+	type keyed struct {
+		key float64
+		it  item
+	}
+	gpts := make([]geom.Point, 0, len(g))
+	for _, q := range g {
+		gpts = append(gpts, en.Net.Sinks[ord[q]].Pos)
+	}
+	items := []keyed{{key: float64(left), it: item{group: inner, groupKey: groupKey, bbox: geom.BoundingBox(gpts)}}}
+	for _, q := range G {
+		if ing[q] {
+			continue
+		}
+		key := float64(q)
+		switch {
+		case e.HasRightBubble() && q == r-1:
+			key = float64(r) + 0.5
+		case e.HasLeftBubble() && q == left+1:
+			key = float64(left) - 0.5
+		}
+		pt := en.Net.Sinks[ord[q]].Pos
+		items = append(items, keyed{key: key, it: item{sinkIdx: ord[q], pos: q, bbox: geom.Rect{Min: pt, Max: pt}}})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].key < items[j].key })
+	out := make([]item, len(items))
+	for i, kv := range items {
+		out[i] = kv.it
+	}
+	return out
+}
+
+// starDP is *PTREE (§3.2.3): the P-Tree interval DP over the ordered item
+// list, producing for every candidate p the non-inferior curve of buffered
+// routings rooted at p that drive all items. Runs of directly attached
+// sinks are memoized across sub-problems and MERLIN iterations.
+func (en *Engine) starDP(items []item) []*curve.Curve {
+	callKey := starKey(items)
+	if cached, ok := en.starMemo[callKey]; ok {
+		en.MemoHits++
+		return cached
+	}
+	en.StarDPCalls++
+	k := len(en.Cands)
+	t := len(items)
+	// tab[a*t+b][p]
+	tab := make([][]*curve.Curve, t*t)
+	sinkOnly := make([]bool, t*t)
+
+	for length := 1; length <= t; length++ {
+		for a := 0; a+length-1 < t; a++ {
+			b := a + length - 1
+			idx := a*t + b
+			pure := true
+			for i := a; i <= b; i++ {
+				if items[i].group != nil {
+					pure = false
+					break
+				}
+			}
+			sinkOnly[idx] = pure
+			final := length == t
+			if pure && !final {
+				if cached, ok := en.memo[runKey(items[a:b+1])]; ok {
+					en.MemoHits++
+					tab[idx] = cached
+					continue
+				}
+			}
+			mask := en.intervalMask(items[a : b+1])
+			allowed := func(p int) bool { return mask == nil || mask[p] }
+			cur := make([]*curve.Curve, k)
+			if length == 1 {
+				it := items[a]
+				for p := 0; p < k; p++ {
+					switch {
+					case !allowed(p):
+						cur[p] = &curve.Curve{}
+					case it.group != nil:
+						if it.group[p] == nil {
+							cur[p] = &curve.Curve{}
+						} else {
+							cur[p] = it.group[p].Clone()
+						}
+					default:
+						cur[p] = en.leafCurve(p, it.sinkIdx)
+					}
+				}
+			} else {
+				for p := 0; p < k; p++ {
+					acc := &curve.Curve{}
+					if !allowed(p) {
+						cur[p] = acc
+						continue
+					}
+					for u := a; u < b; u++ {
+						lc, rcv := tab[a*t+u][p], tab[(u+1)*t+b][p]
+						if lc == nil || rcv == nil || lc.Empty() || rcv.Empty() {
+							continue
+						}
+						ls, rs := summarize(lc.Sols), summarize(rcv.Sols)
+						optReq := ls.maxReq
+						if rs.maxReq < optReq {
+							optReq = rs.maxReq
+						}
+						if acc.Dominated(ls.minLoad+rs.minLoad, optReq, ls.minArea+rs.minArea) {
+							continue
+						}
+						for xi := range lc.Sols {
+							x := &lc.Sols[xi]
+							for yi := range rcv.Sols {
+								y := &rcv.Sols[yi]
+								req := x.Req
+								if y.Req < req {
+									req = y.Req
+								}
+								if acc.TryInsert(x.Load+y.Load, req, x.Area+y.Area, nil) {
+									acc.Sols[len(acc.Sols)-1].Ref = en.newRef(ref{kind: refJoin, point: int32(p), a: x.Ref.(*ref), b: y.Ref.(*ref)})
+								}
+							}
+						}
+					}
+					acc.Cap(en.Opts.MaxSols)
+					cur[p] = acc
+				}
+			}
+			// Per-interval pipeline: raw → buffer → transfer → buffer.
+			// Buffering before the transfer lets "buffer at q, wire q→p"
+			// structures migrate to p (a plain-wire detour is never useful —
+			// Elmore is path-additive — but a buffered one often is); the
+			// second pass lets a buffer at p drive the incoming wire. This
+			// realizes the paper's mutual S/S_b recursion with buffers at
+			// Steiner points to one relaxation depth per level.
+			bufferPass := func() {
+				for p := 0; p < k; p++ {
+					if cur[p].Empty() {
+						continue
+					}
+					en.addBufferedVariants(cur[p], p)
+					cur[p].Cap(en.Opts.MaxSols)
+				}
+			}
+			if final || en.Opts.BufferAtSteiner {
+				bufferPass()
+			}
+			en.transfer(cur, mask)
+			if final || en.Opts.BufferAtSteiner {
+				bufferPass()
+			}
+			if final && en.Opts.ForceGroupBuffers {
+				for p := 0; p < k; p++ {
+					keepBufferedRoots(cur[p])
+				}
+			}
+			tab[idx] = cur
+			if pure && !final {
+				en.memo[runKey(items[a:b+1])] = cur
+			}
+		}
+	}
+	final := tab[0*t+t-1]
+	en.starMemo[callKey] = final
+	return final
+}
+
+// starKey is the content identity of a *PTREE invocation: the ordered item
+// list with the group named by its own content key.
+func starKey(items []item) string {
+	var b strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if it.group != nil {
+			b.WriteByte('[')
+			b.WriteString(it.groupKey)
+			b.WriteByte(']')
+		} else {
+			b.WriteString(strconv.Itoa(it.sinkIdx))
+		}
+	}
+	return b.String()
+}
+
+// summary is the optimistic corner of a curve: the (min load, max req, min
+// area) triple dominates every actual solution the curve holds, so if a
+// target frontier dominates the summary (after any monotone op), the whole
+// curve can be skipped. The DP hot loops use this to prune entire
+// curve-to-curve combinations with one dominance test.
+type summary struct {
+	minLoad, maxReq, minArea float64
+}
+
+func summarize(sols []curve.Solution) summary {
+	s := summary{minLoad: 1e300, maxReq: -1e300, minArea: 1e300}
+	for i := range sols {
+		t := &sols[i]
+		if t.Load < s.minLoad {
+			s.minLoad = t.Load
+		}
+		if t.Req > s.maxReq {
+			s.maxReq = t.Req
+		}
+		if t.Area < s.minArea {
+			s.minArea = t.Area
+		}
+	}
+	return s
+}
+
+// keepBufferedRoots filters a curve to solutions whose structure root (via
+// chains stripped) is a buffer, making the sub-group a true internal node.
+func keepBufferedRoots(c *curve.Curve) {
+	out := c.Sols[:0]
+	for _, s := range c.Sols {
+		r := s.Ref.(*ref)
+		for r.kind == refVia {
+			r = r.a
+		}
+		if r.kind == refBuf {
+			out = append(out, s)
+		}
+	}
+	c.Sols = out
+}
+
+// runKey builds the memo key for a run of sink items.
+func runKey(items []item) string {
+	var b strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(it.sinkIdx))
+	}
+	return b.String()
+}
+
+// transfer relaxes curves across candidate locations: a structure rooted at
+// p′ may serve root p through a direct wire p→p′ (the S = min{d(p,p′)+S′}
+// recursion). Opts.TransferHops sweeps are performed.
+func (en *Engine) transfer(cur []*curve.Curve, mask []bool) {
+	k := len(en.Cands)
+	for hop := 0; hop < en.Opts.TransferHops; hop++ {
+		// Deep snapshot: Insert rewrites curve backing arrays in place, so
+		// the source solutions must be copied out before any target mutates.
+		snap := make([][]curve.Solution, k)
+		for p := 0; p < k; p++ {
+			if cur[p] != nil {
+				snap[p] = append([]curve.Solution(nil), cur[p].Sols...)
+			}
+		}
+		sums := make([]summary, k)
+		for q := 0; q < k; q++ {
+			sums[q] = summarize(snap[q])
+		}
+		for p := 0; p < k; p++ {
+			acc := cur[p]
+			if acc == nil {
+				acc = &curve.Curve{}
+				cur[p] = acc
+			}
+			if mask != nil && !mask[p] {
+				continue
+			}
+			for q := 0; q < k; q++ {
+				if q == p || len(snap[q]) == 0 {
+					continue
+				}
+				wl := en.dist[p][q]
+				wc := en.Tech.WireC(wl)
+				// Optimistic corner of everything q could deliver to p; if
+				// it is already dominated, skip the whole source curve.
+				if acc.Dominated(sums[q].minLoad+wc, sums[q].maxReq-en.Tech.WireElmore(wl, sums[q].minLoad), sums[q].minArea) {
+					continue
+				}
+				for si := range snap[q] {
+					s := &snap[q][si]
+					load := en.Tech.QuantizeLoad(s.Load + wc)
+					req := s.Req - en.Tech.WireElmore(wl, s.Load)
+					if acc.TryInsert(load, req, s.Area, nil) {
+						acc.Sols[len(acc.Sols)-1].Ref = en.newRef(ref{kind: refVia, point: int32(p), a: s.Ref.(*ref)})
+					}
+				}
+			}
+			acc.Cap(en.Opts.MaxSols)
+		}
+	}
+}
+
+// driver returns the gate model for the net source.
+func (en *Engine) driver() rc.Gate {
+	if en.Net.Driver.Name != "" {
+		return en.Net.Driver
+	}
+	return en.Lib.Driver
+}
+
+// Extract picks the solution of the final curves that best satisfies the
+// goal (Fig. 9 lines 21–22), accounting for the driver's load-dependent
+// delay, and returns the solution together with its driver-input required
+// time.
+func (en *Engine) Extract(final []*curve.Curve, goal Goal) (curve.Solution, float64, error) {
+	src := final[en.srcIdx]
+	if src == nil || src.Empty() {
+		return curve.Solution{}, 0, fmt.Errorf("core: no solution at source")
+	}
+	drv := en.driver()
+	reqAt := func(s curve.Solution) float64 { return s.Req - drv.DelayNominal(en.Tech, s.Load) }
+	var best curve.Solution
+	found := false
+	switch goal.Mode {
+	case GoalMaxReq:
+		for _, s := range src.Sols {
+			if goal.AreaBudget > 0 && s.Area > goal.AreaBudget {
+				continue
+			}
+			if !found || reqAt(s) > reqAt(best) || (reqAt(s) == reqAt(best) && s.Area < best.Area) {
+				best, found = s, true
+			}
+		}
+	case GoalMinArea:
+		for _, s := range src.Sols {
+			if reqAt(s) < goal.ReqFloor {
+				continue
+			}
+			if !found || s.Area < best.Area || (s.Area == best.Area && reqAt(s) > reqAt(best)) {
+				best, found = s, true
+			}
+		}
+		if !found {
+			// Infeasible floor: fall back to the max-req solution so callers
+			// still get the closest structure; they can detect the shortfall.
+			return en.Extract(final, Goal{Mode: GoalMaxReq})
+		}
+	}
+	if !found {
+		return curve.Solution{}, 0, fmt.Errorf("core: no solution satisfies the goal")
+	}
+	return best, reqAt(best), nil
+}
+
+// BuildTree reconstructs the buffered routing tree of a solution (Fig. 9
+// line 22). The solution must come from curves produced by this engine.
+func (en *Engine) BuildTree(sol curve.Solution) (*tree.Tree, error) {
+	t := tree.New(en.Net)
+	r, ok := sol.Ref.(*ref)
+	if !ok || r == nil {
+		return nil, fmt.Errorf("core: solution carries no reconstruction reference")
+	}
+	node := en.buildNode(r)
+	if node.Kind == tree.KindSteiner && node.Pos == en.Net.Source {
+		t.Root.Children = node.Children
+	} else {
+		t.Root.AddChild(node)
+	}
+	return t, t.Validate()
+}
+
+// buildNode expands a ref into tree nodes; joins at the same point flatten
+// into one Steiner/buffer node so child order (and hence the realized sink
+// order) is preserved left to right.
+func (en *Engine) buildNode(r *ref) *tree.Node {
+	switch r.kind {
+	case refLeaf:
+		n := &tree.Node{Kind: tree.KindSteiner, Pos: en.Cands[r.point]}
+		sk := en.Net.Sinks[r.sink]
+		if n.Pos == sk.Pos {
+			return &tree.Node{Kind: tree.KindSink, Pos: sk.Pos, SinkIdx: int(r.sink)}
+		}
+		n.AddChild(&tree.Node{Kind: tree.KindSink, Pos: sk.Pos, SinkIdx: int(r.sink)})
+		return n
+	case refBuf:
+		n := &tree.Node{Kind: tree.KindBuffer, Pos: en.Cands[r.point], Buffer: *r.gate}
+		child := en.buildNode(r.a)
+		if child.Kind == tree.KindSteiner && child.Pos == n.Pos {
+			n.Children = child.Children
+		} else {
+			n.AddChild(child)
+		}
+		return n
+	case refVia:
+		n := &tree.Node{Kind: tree.KindSteiner, Pos: en.Cands[r.point]}
+		child := en.buildNode(r.a)
+		if child.Kind == tree.KindSteiner && child.Pos == n.Pos {
+			n.Children = child.Children
+		} else {
+			n.AddChild(child)
+		}
+		return n
+	default: // refJoin
+		n := &tree.Node{Kind: tree.KindSteiner, Pos: en.Cands[r.point]}
+		for _, part := range []*ref{r.a, r.b} {
+			sub := en.buildNode(part)
+			if sub.Kind == tree.KindSteiner && sub.Pos == n.Pos {
+				n.Children = append(n.Children, sub.Children...)
+			} else {
+				n.AddChild(sub)
+			}
+		}
+		return n
+	}
+}

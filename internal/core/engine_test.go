@@ -1,0 +1,380 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"merlin/internal/buflib"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+)
+
+// testSetup returns a small reproducible configuration: exact arithmetic
+// (no quantization), modest candidate set.
+func testSetup(nSinks int, seed int64, maxCands int) (*net.Net, []geom.Point, *buflib.Library, rc.Technology) {
+	tech := rc.Default035()
+	tech.LoadQuantum = 0
+	lib := buflib.Default035().Small(4)
+	nt := net.Generate(net.DefaultGenSpec(nSinks, seed), tech, lib.Driver)
+	cands := geom.ReducedHanan(nt.Terminals(), maxCands)
+	return nt, cands, lib, tech
+}
+
+func exactOpts() Options {
+	o := DefaultOptions()
+	o.Alpha = 4
+	o.MaxSols = 0 // uncapped: exact within the structure space
+	return o
+}
+
+// TestSolutionTreeConsistency: for every solution of the final curve, the
+// reconstructed tree must realize exactly the solution's buffer area, and
+// the DP's required time must match a nominal-slew re-evaluation. This is
+// the regression test for the extraction path (Fig. 9 lines 21–22).
+func TestSolutionTreeConsistency(t *testing.T) {
+	nt, cands, lib, tech := testSetup(6, 5, 10)
+	opts := exactOpts()
+	opts.MaxSols = 6
+	en := NewEngine(nt, cands, lib, tech, opts)
+	final, err := en.Construct(order.Identity(nt.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for p := range final {
+		for _, sol := range final[p].Sols {
+			tr, err := en.BuildTree(sol)
+			if err != nil {
+				t.Fatalf("BuildTree: %v", err)
+			}
+			if math.Abs(tr.BufferArea()-sol.Area) > 1e-6 {
+				t.Fatalf("solution area %.2f but tree area %.2f\n%s", sol.Area, tr.BufferArea(), tr)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no solutions to check")
+	}
+}
+
+// TestDPReqMatchesEvaluation: with quantization off and a slew-insensitive
+// library (K2=K3=0, so the DP's nominal-slew restriction is exact), the
+// DP's predicted required time at the driver equals the tree evaluation.
+func TestDPReqMatchesEvaluation(t *testing.T) {
+	nt, cands, lib, tech := testSetup(5, 8, 8)
+	flat := &buflib.Library{Driver: lib.Driver}
+	for _, b := range lib.Buffers {
+		b.K2, b.K3 = 0, 0
+		flat.Buffers = append(flat.Buffers, b)
+	}
+	flat.Driver.K2, flat.Driver.K3 = 0, 0
+	nt.Driver = flat.Driver
+	lib = flat
+	en := NewEngine(nt, cands, lib, tech, exactOpts())
+	final, err := en.Construct(order.Identity(nt.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, reqAt, err := en.Extract(final, Goal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := en.BuildTree(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tr.Evaluate(tech, lib.Driver)
+	if math.Abs(ev.ReqAtDriverInput-reqAt) > 1e-6 {
+		t.Fatalf("DP req %.6f but evaluation %.6f\n%s", reqAt, ev.ReqAtDriverInput, tr)
+	}
+}
+
+// TestLemma5: any order realized by BUBBLE_CONSTRUCT is in N(Π).
+func TestLemma5(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		nt, cands, lib, tech := testSetup(6, 20+seed, 8)
+		opts := exactOpts()
+		opts.MaxSols = 5
+		en := NewEngine(nt, cands, lib, tech, opts)
+		rng := rand.New(rand.NewSource(seed))
+		pi := order.Order(rng.Perm(nt.N()))
+		final, err := en.Construct(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := range final {
+			for _, sol := range final[p].Sols {
+				tr, err := en.BuildTree(sol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				realized := tr.SinkOrder()
+				if !realized.Valid() {
+					t.Fatalf("realized %v is not a permutation", realized)
+				}
+				if !order.InNeighborhood(pi, realized) {
+					t.Fatalf("Lemma 5 violated: realized %v not in N(%v)", realized, pi)
+				}
+			}
+		}
+	}
+}
+
+// TestLemma6AndTheorem4: BUBBLE_CONSTRUCT (with bubbling) must do at least
+// as well as running its χ0-only restriction on every member of N(Π)
+// individually — i.e. the neighborhood really is searched.
+func TestLemma6AndTheorem4(t *testing.T) {
+	nt, cands, lib, tech := testSetup(5, 33, 7)
+	opts := exactOpts()
+	opts.Alpha = 3
+
+	full := NewEngine(nt, cands, lib, tech, opts)
+	finals, err := full.Construct(order.Identity(nt.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fullReq, err := full.Extract(finals, Goal{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chi0 := opts
+	chi0.Chis = []Chi{Chi0}
+	bestNeighbor := math.Inf(-1)
+	for _, pi := range order.Neighborhood(order.Identity(nt.N())) {
+		en := NewEngine(nt, cands, lib, tech, chi0)
+		fin, err := en.Construct(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, req, err := en.Extract(fin, Goal{}); err == nil && req > bestNeighbor {
+			bestNeighbor = req
+		}
+	}
+	if fullReq < bestNeighbor-1e-9 {
+		t.Fatalf("bubbled run (req %.6f) lost to a χ0-only neighbor (req %.6f): neighborhood not covered", fullReq, bestNeighbor)
+	}
+	t.Logf("bubbled req %.6f ≥ best χ0 neighbor %.6f over %d orders", fullReq, bestNeighbor, len(order.Neighborhood(order.Identity(nt.N()))))
+}
+
+// TestBubblingFindsBetterOrders: on some instance the bubbled engine must
+// strictly beat the χ0-only engine for the same initial order — otherwise
+// the local order-perturbation machinery is dead code.
+func TestBubblingFindsBetterOrders(t *testing.T) {
+	improved := false
+	for seed := int64(0); seed < 10 && !improved; seed++ {
+		nt, cands, lib, tech := testSetup(6, 50+seed, 8)
+		opts := exactOpts()
+		opts.MaxSols = 6
+		// A deliberately poor initial order: reverse TSP.
+		tsp := order.TSP(nt.Source, nt.SinkPoints())
+		pi := make(order.Order, len(tsp))
+		for i, v := range tsp {
+			pi[len(tsp)-1-i] = v
+		}
+		en := NewEngine(nt, cands, lib, tech, opts)
+		fin, err := en.Construct(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fullReq, err := en.Extract(fin, Goal{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chi0 := opts
+		chi0.Chis = []Chi{Chi0}
+		en0 := NewEngine(nt, cands, lib, tech, chi0)
+		fin0, err := en0.Construct(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, req0, err := en0.Extract(fin0, Goal{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fullReq < req0-1e-9 {
+			t.Fatalf("seed %d: bubbling made things worse: %.6f < %.6f", seed, fullReq, req0)
+		}
+		if fullReq > req0+1e-9 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("bubbling never improved on χ0-only across 10 seeds — suspicious")
+	}
+}
+
+// TestCaTreeStructure: with Steiner buffering off and buffered group roots
+// forced, the output must be a strict Cα_Tree (Definition 2) for the
+// engine's α.
+func TestCaTreeStructure(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		nt, cands, lib, tech := testSetup(6, 70+seed, 8)
+		opts := exactOpts()
+		opts.MaxSols = 6
+		opts.BufferAtSteiner = false
+		opts.ForceGroupBuffers = true
+		en := NewEngine(nt, cands, lib, tech, opts)
+		final, err := en.Construct(order.Identity(nt.N()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, _, err := en.Extract(final, Goal{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := en.BuildTree(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.IsCaTree(opts.Alpha); err != nil {
+			t.Fatalf("seed %d: not a Cα tree: %v\n%s", seed, err, tr)
+		}
+	}
+}
+
+// TestGoalModes: variant II returns the smallest area meeting the floor;
+// variant I respects the budget.
+func TestGoalModes(t *testing.T) {
+	nt, cands, lib, tech := testSetup(6, 90, 10)
+	opts := exactOpts()
+	opts.MaxSols = 8
+	en := NewEngine(nt, cands, lib, tech, opts)
+	final, err := en.Construct(order.Identity(nt.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestReq, err := en.Extract(final, Goal{Mode: GoalMaxReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget below the unconstrained optimum's area must yield less area.
+	if best.Area > 0 {
+		capped, cappedReq, err := en.Extract(final, Goal{Mode: GoalMaxReq, AreaBudget: best.Area / 2})
+		if err == nil {
+			if capped.Area > best.Area/2 {
+				t.Fatalf("budget violated: %.0f > %.0f", capped.Area, best.Area/2)
+			}
+			if cappedReq > bestReq+1e-9 {
+				t.Fatalf("budgeted run cannot beat the unconstrained optimum")
+			}
+		}
+	}
+	// Variant II at a floor just under the optimum must meet it with minimal
+	// area ≤ the optimum's.
+	floor := bestReq - 0.05
+	sol2, req2, err := en.Extract(final, Goal{Mode: GoalMinArea, ReqFloor: floor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2 < floor {
+		t.Fatalf("variant II missed its floor: %.6f < %.6f", req2, floor)
+	}
+	if sol2.Area > best.Area {
+		t.Fatalf("variant II used more area (%.0f) than the max-req solution (%.0f)", sol2.Area, best.Area)
+	}
+}
+
+// TestMerlinLoopMonotone: the chosen cost never worsens from loop to loop,
+// and MaxLoops is honored.
+func TestMerlinLoopMonotone(t *testing.T) {
+	nt, cands, lib, tech := testSetup(7, 4, 9)
+	opts := exactOpts()
+	opts.MaxSols = 5
+	opts.MaxLoops = 3
+	en := NewEngine(nt, cands, lib, tech, opts)
+	res, err := en.Merlin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loops > opts.MaxLoops {
+		t.Fatalf("ran %d loops with MaxLoops=%d", res.Loops, opts.MaxLoops)
+	}
+	// One-shot construct with the same initial order must not beat MERLIN.
+	one, sol, err := BubbleConstructOnce(nt, cands, lib, tech, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = one
+	if res.Solution.Req < sol.Req-1e-9 && res.ReqAtDriverInput < sol.Req {
+		t.Fatalf("MERLIN (req %.6f) lost to its own first loop (req %.6f)", res.Solution.Req, sol.Req)
+	}
+}
+
+// TestGammaMemoReuse: a second Construct over the same order must be much
+// cheaper (all Γ sub-problems hit the cross-iteration memo).
+func TestGammaMemoReuse(t *testing.T) {
+	nt, cands, lib, tech := testSetup(6, 6, 8)
+	opts := exactOpts()
+	opts.MaxSols = 5
+	en := NewEngine(nt, cands, lib, tech, opts)
+	if _, err := en.Construct(order.Identity(nt.N())); err != nil {
+		t.Fatal(err)
+	}
+	calls := en.StarDPCalls
+	if _, err := en.Construct(order.Identity(nt.N())); err != nil {
+		t.Fatal(err)
+	}
+	if en.StarDPCalls != calls {
+		t.Fatalf("identical reconstruct ran %d extra starDP calls", en.StarDPCalls-calls)
+	}
+}
+
+// TestConstructRejectsBadOrders covers the error paths.
+func TestConstructRejectsBadOrders(t *testing.T) {
+	nt, cands, lib, tech := testSetup(4, 1, 6)
+	en := NewEngine(nt, cands, lib, tech, exactOpts())
+	if _, err := en.Construct(order.Order{0, 1}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := en.Construct(order.Order{0, 0, 1, 2}); err == nil {
+		t.Error("non-permutation accepted")
+	}
+	if _, err := en.Construct(nil); err == nil {
+		t.Error("nil order accepted")
+	}
+}
+
+// TestSourceInCandidates: the engine must append the source if missing and
+// dedupe candidate points.
+func TestSourceInCandidates(t *testing.T) {
+	nt, _, lib, tech := testSetup(4, 2, 6)
+	dup := []geom.Point{{X: 100, Y: 100}, {X: 100, Y: 100}, {X: 200, Y: 200}}
+	en := NewEngine(nt, dup, lib, tech, exactOpts())
+	if en.Cands[en.SourceIndex()] != nt.Source {
+		t.Fatal("source candidate missing")
+	}
+	seen := map[geom.Point]bool{}
+	for _, p := range en.Cands {
+		if seen[p] {
+			t.Fatalf("duplicate candidate %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+// TestExtractGoalFallback: an impossible required-time floor falls back to
+// the best-req solution rather than failing.
+func TestExtractGoalFallback(t *testing.T) {
+	nt, cands, lib, tech := testSetup(4, 3, 6)
+	en := NewEngine(nt, cands, lib, tech, exactOpts())
+	final, err := en.Construct(order.Identity(nt.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reqBest, err := en.Extract(final, Goal{Mode: GoalMaxReq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, reqFall, err := en.Extract(final, Goal{Mode: GoalMinArea, ReqFloor: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqFall != reqBest {
+		t.Fatalf("fallback req %.6f != best req %.6f", reqFall, reqBest)
+	}
+}

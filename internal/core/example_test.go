@@ -1,0 +1,22 @@
+package core_test
+
+import (
+	"fmt"
+
+	"merlin/internal/core"
+)
+
+// The grouping structures of Fig. 6 stretch a sub-group's span to reserve
+// bubble slots; SINK_SET (Fig. 13) drops the hole positions.
+func ExampleSinkSet() {
+	// A 4-sink sub-group ending at position 9 for each structure.
+	for _, e := range []core.Chi{core.Chi0, core.Chi1, core.Chi2, core.Chi3} {
+		span := 4 + core.Stretch(e)
+		fmt.Println(e, core.SinkSet(9, span, e))
+	}
+	// Output:
+	// χ0 [6 7 8 9]
+	// χ1 [5 6 7 9]
+	// χ2 [5 7 8 9]
+	// χ3 [4 6 7 9]
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestStretch(t *testing.T) {
+	want := map[Chi]int{Chi0: 0, Chi1: 1, Chi2: 1, Chi3: 2}
+	for e, w := range want {
+		if got := Stretch(e); got != w {
+			t.Errorf("Stretch(%v) = %d, want %d", e, got, w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stretch of an invalid structure must panic")
+		}
+	}()
+	Stretch(Chi(9))
+}
+
+func TestChiBubbles(t *testing.T) {
+	if Chi0.HasLeftBubble() || Chi0.HasRightBubble() {
+		t.Error("χ0 has no bubbles")
+	}
+	if !Chi1.HasRightBubble() || Chi1.HasLeftBubble() {
+		t.Error("χ1 has a right bubble only")
+	}
+	if !Chi2.HasLeftBubble() || Chi2.HasRightBubble() {
+		t.Error("χ2 has a left bubble only")
+	}
+	if !Chi3.HasLeftBubble() || !Chi3.HasRightBubble() {
+		t.Error("χ3 has both bubbles")
+	}
+}
+
+// TestSinkSetFig13 pins SINK_SET against the paper's Fig. 13 case listings
+// (translated to 0-based positions), with R=9 and L'=6.
+func TestSinkSetFig13(t *testing.T) {
+	r, span := 9, 6
+	cases := []struct {
+		e    Chi
+		want []int
+	}{
+		{Chi0, []int{4, 5, 6, 7, 8, 9}},
+		{Chi1, []int{4, 5, 6, 7, 9}}, // hole at R-1
+		{Chi2, []int{4, 6, 7, 8, 9}}, // hole at left+1
+		{Chi3, []int{4, 6, 7, 9}},    // both holes
+	}
+	for _, c := range cases {
+		got := SinkSet(r, span, c.e)
+		if len(got) != len(c.want) {
+			t.Fatalf("%v: SinkSet = %v, want %v", c.e, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%v: SinkSet = %v, want %v", c.e, got, c.want)
+			}
+		}
+		if len(got) != span-Stretch(c.e) {
+			t.Fatalf("%v: |SinkSet| = %d, want span−stretch = %d", c.e, len(got), span-Stretch(c.e))
+		}
+	}
+}
+
+// TestSinkSetDegenerate covers the paper's note that all structures coincide
+// at L=1 and χ1/χ2 coincide at L=2 (the hole swallows a border position).
+func TestSinkSetDegenerate(t *testing.T) {
+	// L=1: χ1 span 2 keeps only the rightmost; χ2 span 2 keeps the leftmost.
+	if got := SinkSet(5, 2, Chi1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("χ1 L=1: %v", got)
+	}
+	if got := SinkSet(5, 2, Chi2); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("χ2 L=1: %v", got)
+	}
+	// L=2, χ3 minimum span: {left, right} with two interior holes.
+	if got := SinkSet(5, 4, Chi3); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("χ3 L=2: %v", got)
+	}
+}
+
+func TestSinkSetSizeInvariant(t *testing.T) {
+	for _, e := range []Chi{Chi0, Chi1, Chi2, Chi3} {
+		for l := 1; l <= 8; l++ {
+			span := l + Stretch(e)
+			if span < minSpan(e) {
+				continue
+			}
+			r := span + 3 // anywhere legal
+			if got := SinkSet(r, span, e); len(got) != l {
+				t.Errorf("%v l=%d: |SinkSet| = %d", e, l, len(got))
+			}
+		}
+	}
+}
+
+func TestSpanFits(t *testing.T) {
+	if !SpanFits(10, 9, 8, Chi3) { // span 10 exactly fits
+		t.Error("span 10 in n=10 must fit at r=9")
+	}
+	if SpanFits(10, 9, 9, Chi3) { // span 11 > n
+		t.Error("span 11 must not fit in n=10")
+	}
+	if SpanFits(10, 2, 1, Chi3) { // span 3 < minSpan(χ3)
+		t.Error("χ3 needs span ≥ 4")
+	}
+	if SpanFits(5, 5, 1, Chi0) { // r out of range
+		t.Error("r ≥ n must not fit")
+	}
+	if SpanFits(5, 0, 2, Chi0) { // sticks out left
+		t.Error("span past the left edge must not fit")
+	}
+}
+
+func TestSinkSetPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SinkSet(1, 3, Chi0) }, // left < 0
+		func() { SinkSet(5, 3, Chi3) }, // span below minimum
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"merlin/internal/buflib"
+	"merlin/internal/curve"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+	"merlin/internal/tree"
+)
+
+// Result is the output of a MERLIN run.
+type Result struct {
+	// Tree is the hierarchical buffered routing tree ℜ.
+	Tree *tree.Tree
+	// Solution is the chosen point of the final 3-D curve.
+	Solution curve.Solution
+	// ReqAtDriverInput is the required time at the driver input for the
+	// chosen solution, per the DP's nominal-slew model.
+	ReqAtDriverInput float64
+	// Loops is the number of BUBBLE_CONSTRUCT invocations until the sink
+	// order reached a fixpoint (the paper's "Loops" column).
+	Loops int
+	// FinalOrder is the realized sink order of the returned tree.
+	FinalOrder order.Order
+	// Frontier is the final non-inferior curve at the source (Fig. 8),
+	// useful for area/required-time trade-off exploration.
+	Frontier *curve.Curve
+	// Runtime is the wall-clock time of the whole search.
+	Runtime time.Duration
+}
+
+// Merlin runs the outer local-neighborhood search (Fig. 14): repeated
+// BUBBLE_CONSTRUCT calls, each optimally searching the neighborhood of the
+// current order; the realized sink order of the best structure seeds the
+// next iteration; the loop stops at an order fixpoint (or Opts.MaxLoops).
+//
+// initOrder may be nil, in which case the TSP order of [LCLH96] is used —
+// the paper's Setup III choice.
+func Merlin(n *net.Net, cands []geom.Point, lib *buflib.Library, tech rc.Technology, opts Options, initOrder order.Order) (*Result, error) {
+	en := NewEngine(n, cands, lib, tech, opts)
+	return en.Merlin(initOrder)
+}
+
+// Merlin runs the outer search on an existing engine (reusing its memo).
+func (en *Engine) Merlin(initOrder order.Order) (*Result, error) {
+	start := time.Now()
+	if err := en.Net.Validate(); err != nil {
+		return nil, err
+	}
+	pi := initOrder
+	if pi == nil {
+		pi = order.TSP(en.Net.Source, en.Net.SinkPoints())
+	}
+	if !pi.Valid() || len(pi) != en.Net.N() {
+		return nil, fmt.Errorf("core: initial order must be a permutation of the %d sinks", en.Net.N())
+	}
+
+	res := &Result{}
+	bestCost := costInf
+	for {
+		res.Loops++
+		final, err := en.Construct(pi)
+		if err != nil {
+			return nil, err
+		}
+		sol, reqAt, err := en.Extract(final, en.Opts.Goal)
+		if err != nil {
+			return nil, err
+		}
+		t, err := en.BuildTree(sol)
+		if err != nil {
+			return nil, err
+		}
+		next := t.SinkOrder()
+		if !next.Valid() {
+			return nil, fmt.Errorf("core: extracted tree does not realize a sink order")
+		}
+		cost := en.costOf(sol, reqAt)
+		improved := cost < bestCost
+		if improved {
+			bestCost = cost
+			res.Tree = t
+			res.Solution = sol
+			res.ReqAtDriverInput = reqAt
+			res.FinalOrder = next
+			res.Frontier = final[en.srcIdx]
+		}
+		if next.Equal(pi) {
+			break // order fixpoint: N(Π) holds nothing better (Fig. 14 line 8)
+		}
+		if !improved && res.Loops > 1 {
+			// Theorem 7: the best cost strictly decreases except on the last
+			// visit; a non-improving iteration means convergence even when
+			// equal-cost neighbors keep the order string churning.
+			break
+		}
+		pi = next
+		if en.Opts.MaxLoops > 0 && res.Loops >= en.Opts.MaxLoops {
+			break
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+const costInf = 1e300
+
+// costOf maps a solution to the scalar MERLIN descends on, per the goal:
+// variant I descends on −required-time (area only as tie-break via the
+// budget filter); variant II descends on buffer area.
+func (en *Engine) costOf(sol curve.Solution, reqAt float64) float64 {
+	switch en.Opts.Goal.Mode {
+	case GoalMinArea:
+		if reqAt >= en.Opts.Goal.ReqFloor {
+			return sol.Area
+		}
+		// Infeasible solutions sort after all feasible ones, closer floors
+		// first, so the search still makes progress toward feasibility.
+		return costInf/2 + (en.Opts.Goal.ReqFloor - reqAt)
+	default:
+		return -reqAt
+	}
+}
+
+// BubbleConstructOnce is a convenience wrapper: one inner-engine invocation
+// (no outer search) returning the tree for the goal. It exists so flows and
+// tests can measure the engine in isolation.
+func BubbleConstructOnce(n *net.Net, cands []geom.Point, lib *buflib.Library, tech rc.Technology, opts Options, ord order.Order) (*tree.Tree, curve.Solution, error) {
+	en := NewEngine(n, cands, lib, tech, opts)
+	if ord == nil {
+		ord = order.TSP(n.Source, n.SinkPoints())
+	}
+	final, err := en.Construct(ord)
+	if err != nil {
+		return nil, curve.Solution{}, err
+	}
+	sol, _, err := en.Extract(final, opts.Goal)
+	if err != nil {
+		return nil, curve.Solution{}, err
+	}
+	t, err := en.BuildTree(sol)
+	if err != nil {
+		return nil, curve.Solution{}, err
+	}
+	return t, sol, nil
+}

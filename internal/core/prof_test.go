@@ -1,0 +1,30 @@
+package core
+
+import (
+	"testing"
+
+	"merlin/internal/buflib"
+	"merlin/internal/geom"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+)
+
+// BenchmarkConstruct measures one BUBBLE_CONSTRUCT invocation at the unit
+// scale tests use; the cross-size series lives in the repository-root
+// bench (BenchmarkBubbleConstruct).
+func BenchmarkConstruct(b *testing.B) {
+	tech := rc.Default035()
+	lib := buflib.Default035().Small(5)
+	nt := smokeNet(8, 42)
+	cands := geom.ReducedHanan(nt.Terminals(), 10)
+	opts := DefaultOptions()
+	opts.Alpha = 4
+	opts.MaxSols = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		en := NewEngine(nt, cands, lib, tech, opts)
+		if _, err := en.Construct(order.Identity(nt.N())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"merlin/internal/buflib"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+)
+
+func smokeNet(n int, seed int64) *net.Net {
+	tech := rc.Default035()
+	lib := buflib.Default035()
+	return net.Generate(net.DefaultGenSpec(n, seed), tech, lib.Driver)
+}
+
+func TestEngineSmoke(t *testing.T) {
+	tech := rc.Default035()
+	lib := buflib.Default035().Small(6)
+	nt := smokeNet(5, 1)
+	cands := geom.ReducedHanan(nt.Terminals(), 10)
+	opts := DefaultOptions()
+	opts.Alpha = 4
+	opts.MaxSols = 6
+
+	res, err := Merlin(nt, cands, lib, tech, opts, nil)
+	if err != nil {
+		t.Fatalf("Merlin: %v", err)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Fatalf("tree invalid: %v", err)
+	}
+	t.Logf("loops=%d req=%.4f area=%.0f order=%v\ntree:\n%s",
+		res.Loops, res.ReqAtDriverInput, res.Solution.Area, res.FinalOrder, res.Tree)
+	init := order.TSP(nt.Source, nt.SinkPoints())
+	if !order.InNeighborhood(init, res.FinalOrder) && res.Loops == 1 {
+		t.Errorf("single-loop result order %v not in N(%v)", res.FinalOrder, init)
+	}
+	ev := res.Tree.Evaluate(tech, lib.Driver)
+	t.Logf("eval: req=%.4f delay=%.4f bufarea=%.0f wl=%d", ev.ReqAtDriverInput, ev.Delay, ev.BufferArea, ev.Wirelength)
+}

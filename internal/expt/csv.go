@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTable1CSV emits machine-readable rows (one per net) so downstream
+// analysis — EXPERIMENTS.md tables, plots — can consume the results without
+// re-running the flows.
+func WriteTable1CSV(w io.Writer, rows []Table1Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"circuit", "net", "sinks",
+		"flowI_area_lambda2", "flowI_delay_ns", "flowI_runtime_s",
+		"flowII_area_ratio", "flowII_delay_ratio", "flowII_runtime_ratio",
+		"flowIII_area_ratio", "flowIII_delay_ratio", "flowIII_runtime_ratio",
+		"merlin_loops",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Spec.Circuit, r.Spec.Net, itoa(r.Spec.Sinks),
+			ftoa(r.AreaI), ftoa(r.DelayI), ftoa(r.RuntimeI.Seconds()),
+			ftoa(r.AreaII), ftoa(r.DelayII), ftoa(r.RuntimeII),
+			ftoa(r.AreaIII), ftoa(r.DelayIII), ftoa(r.RuntimeIII),
+			itoa(r.Loops),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV emits machine-readable Table 2 rows.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"circuit", "gates", "nets",
+		"flowI_area_lambda2", "flowI_delay_ns", "flowI_runtime_s",
+		"flowII_area_ratio", "flowII_delay_ratio", "flowII_runtime_ratio",
+		"flowIII_area_ratio", "flowIII_delay_ratio", "flowIII_runtime_ratio",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Bench.Name, itoa(r.Gates), itoa(r.Nets),
+			ftoa(r.AreaI), ftoa(r.DelayI), ftoa(r.RuntimeI.Seconds()),
+			ftoa(r.AreaII), ftoa(r.DelayII), ftoa(r.RuntimeII),
+			ftoa(r.AreaIII), ftoa(r.DelayIII), ftoa(r.RuntimeIII),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.6g", v) }

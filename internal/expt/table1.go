@@ -1,0 +1,161 @@
+// Package expt is the experiment harness: it regenerates the paper's two
+// tables (and the auxiliary experiments listed in DESIGN.md §3) and renders
+// them in the paper's format — Flow I absolute numbers, Flows II and III as
+// ratios over Flow I, plus MERLIN's loop count.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"merlin/internal/flows"
+	"merlin/internal/net"
+)
+
+// Table1Spec describes one row's net: the paper's circuit of origin, net
+// name and sink count (Table 1 columns 1–3). Sink placements, loads and
+// required times are synthesized per the paper's setup: random positions in
+// a bounding box sized so wire delay ≈ gate delay.
+type Table1Spec struct {
+	Circuit string
+	Net     string
+	Sinks   int
+	Seed    int64
+}
+
+// Table1Specs returns the 18 nets of Table 1 with the paper's sink counts.
+func Table1Specs() []Table1Spec {
+	rows := []struct {
+		circuit string
+		name    string
+		sinks   int
+	}{
+		{"C432", "net1", 16}, {"C432", "net2", 16}, {"C432", "net3", 10},
+		{"C1355", "net4", 9}, {"C1355", "net5", 9}, {"C1355", "net6", 13},
+		{"C3540", "net7", 12}, {"C3540", "net8", 35}, {"C3540", "net9", 73},
+		{"C5315", "net10", 49}, {"C5315", "net11", 21}, {"C5315", "net12", 50},
+		{"C6288", "net13", 16}, {"C6288", "net14", 20}, {"C6288", "net15", 60},
+		{"C7552", "net16", 12}, {"C7552", "net17", 16}, {"C7552", "net18", 23},
+	}
+	out := make([]Table1Spec, len(rows))
+	for i, r := range rows {
+		out[i] = Table1Spec{Circuit: r.circuit, Net: r.name, Sinks: r.sinks, Seed: int64(100 + i)}
+	}
+	return out
+}
+
+// Table1Row is one evaluated row.
+type Table1Row struct {
+	Spec Table1Spec
+	// FlowI absolute numbers (the paper's reference columns).
+	AreaI    float64 // λ²
+	DelayI   float64 // ns
+	RuntimeI time.Duration
+	// Ratios over Flow I for Flows II and III.
+	AreaII, DelayII, RuntimeII    float64
+	AreaIII, DelayIII, RuntimeIII float64
+	Loops                         int
+}
+
+// Table1Options tune the harness.
+type Table1Options struct {
+	// MaxSinks skips nets larger than this (0 = run all 18).
+	MaxSinks int
+	// Profile overrides flows.ProfileFor when non-nil.
+	Profile func(n int) flows.Profile
+}
+
+// RunTable1 evaluates the three flows on every Table 1 net.
+func RunTable1(opt Table1Options, progress func(string)) ([]Table1Row, error) {
+	profileFor := opt.Profile
+	if profileFor == nil {
+		profileFor = flows.ProfileFor
+	}
+	var rows []Table1Row
+	for _, spec := range Table1Specs() {
+		if opt.MaxSinks > 0 && spec.Sinks > opt.MaxSinks {
+			continue
+		}
+		prof := profileFor(spec.Sinks)
+		nt := net.Generate(net.DefaultGenSpec(spec.Sinks, spec.Seed), prof.Tech, prof.Lib.Driver)
+		nt.Name = spec.Circuit + "/" + spec.Net
+		if progress != nil {
+			progress(fmt.Sprintf("table1: %s (n=%d)", nt.Name, spec.Sinks))
+		}
+		rs, err := flows.RunAll(nt, prof)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", nt.Name, err)
+		}
+		fI, fII, fIII := rs[0], rs[1], rs[2]
+		row := Table1Row{
+			Spec:       spec,
+			AreaI:      fI.Eval.BufferArea,
+			DelayI:     fI.Eval.Delay,
+			RuntimeI:   fI.Runtime,
+			AreaII:     ratio(fII.Eval.BufferArea, fI.Eval.BufferArea),
+			DelayII:    ratio(fII.Eval.Delay, fI.Eval.Delay),
+			RuntimeII:  ratio(fII.Runtime.Seconds(), fI.Runtime.Seconds()),
+			AreaIII:    ratio(fIII.Eval.BufferArea, fI.Eval.BufferArea),
+			DelayIII:   ratio(fIII.Eval.Delay, fI.Eval.Delay),
+			RuntimeIII: ratio(fIII.Runtime.Seconds(), fI.Runtime.Seconds()),
+			Loops:      fIII.Loops,
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ratio guards against a zero denominator (e.g. Flow I inserted no buffers).
+func ratio(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 1
+		}
+		return num / 1e-12
+	}
+	return num / den
+}
+
+// Table1Averages returns the column averages the paper's last row reports.
+func Table1Averages(rows []Table1Row) (areaII, delayII, rtII, areaIII, delayIII, rtIII float64) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, r := range rows {
+		areaII += r.AreaII
+		delayII += r.DelayII
+		rtII += r.RuntimeII
+		areaIII += r.AreaIII
+		delayIII += r.DelayIII
+		rtIII += r.RuntimeIII
+	}
+	n := float64(len(rows))
+	return areaII / n, delayII / n, rtII / n, areaIII / n, delayIII / n, rtIII / n
+}
+
+// WriteTable1 renders rows in the paper's layout.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: Total Buffer Area, Delay, and Runtime for a Set of Nets")
+	fmt.Fprintln(w, strings.Repeat("-", 112))
+	fmt.Fprintf(w, "%-8s %-6s %5s | %10s %8s %8s | %6s %6s %6s | %6s %6s %6s %5s\n",
+		"Circuit", "Net", "Sinks",
+		"I:Area", "I:Delay", "I:RT(s)",
+		"II:A", "II:D", "II:RT",
+		"III:A", "III:D", "III:RT", "Loops")
+	fmt.Fprintf(w, "%-21s | %28s | %20s | %s\n", "", "Flow I: LTTREE+PTREE (abs)", "Flow II / I", "Flow III (MERLIN) / I")
+	fmt.Fprintln(w, strings.Repeat("-", 112))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-6s %5d | %10.0f %8.2f %8.3f | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f %5d\n",
+			r.Spec.Circuit, r.Spec.Net, r.Spec.Sinks,
+			r.AreaI, r.DelayI, r.RuntimeI.Seconds(),
+			r.AreaII, r.DelayII, r.RuntimeII,
+			r.AreaIII, r.DelayIII, r.RuntimeIII, r.Loops)
+	}
+	aII, dII, rII, aIII, dIII, rIII := Table1Averages(rows)
+	fmt.Fprintln(w, strings.Repeat("-", 112))
+	fmt.Fprintf(w, "%-21s | %28s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+		"Average:", "", aII, dII, rII, aIII, dIII, rIII)
+	fmt.Fprintf(w, "Paper:  Flow II/I avg = 0.71 area, 0.81 delay, 1.95 rt; Flow III/I avg = 0.88 area, 0.46 delay, 13.49 rt\n")
+}

@@ -1,0 +1,179 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"merlin/internal/circuit"
+	"merlin/internal/flows"
+	"merlin/internal/net"
+	"merlin/internal/place"
+	"merlin/internal/sta"
+)
+
+// Table2Options tune the full-flow harness.
+type Table2Options struct {
+	// Scale shrinks the synthetic circuits relative to the paper's sizes
+	// (DESIGN.md §4); 1.0 approximates the originals.
+	Scale float64
+	// MaxCircuits truncates the benchmark list (0 = all 15).
+	MaxCircuits int
+	// Profile overrides flows.ProfileFor when non-nil. Per the paper's
+	// Table 2 setup, MERLIN's loop count is bounded by 3 regardless.
+	Profile func(n int) flows.Profile
+}
+
+// Table2Row is one circuit's outcome.
+type Table2Row struct {
+	Bench circuit.Benchmark
+	// Gates and Nets describe the synthesized circuit.
+	Gates, Nets int
+	// Flow I absolute values: total area (gate+buffer, λ²), post-layout
+	// delay (ns), runtime.
+	AreaI    float64
+	DelayI   float64
+	RuntimeI time.Duration
+	// Ratios over Flow I.
+	AreaII, DelayII, RuntimeII    float64
+	AreaIII, DelayIII, RuntimeIII float64
+}
+
+// circuitFlow runs one experimental setup over every multi-sink net of a
+// placed circuit and reports total area, post-layout delay and runtime.
+func circuitFlow(f flows.ID, c *circuit.Circuit, pl *place.Placement, profileFor func(int) flows.Profile) (area, delay float64, rt time.Duration, err error) {
+	start := time.Now()
+	prof0 := profileFor(4)
+	timer := sta.New(c, pl, prof0.Tech)
+	base, err := timer.Run(0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bufArea := 0.0
+	for g := range c.Gates {
+		pins := timer.SinkPins(g)
+		if len(pins) < 2 {
+			continue // single-sink nets keep the direct wire
+		}
+		prof := profileFor(len(pins))
+		prof.Core.MaxLoops = 3 // the paper's Table 2 bound
+		nt := &net.Net{
+			Name:   fmt.Sprintf("%s/n%d", c.Name, g),
+			Source: pl.Pos[g],
+			Driver: timer.DriverOf(g),
+		}
+		for _, p := range pins {
+			nt.Sinks = append(nt.Sinks, net.Sink{
+				Pos:  timer.PinPos(p, g),
+				Load: timer.PinLoad(p),
+				Req:  timer.PinRAT(base, g, p),
+			})
+		}
+		res, ferr := flows.Run(f, nt, prof)
+		if ferr != nil {
+			return 0, 0, 0, fmt.Errorf("net %s: %w", nt.Name, ferr)
+		}
+		timer.Trees[g] = res.Tree
+		bufArea += res.Eval.BufferArea
+	}
+	final, err := timer.Run(0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return c.GateArea() + bufArea, final.Delay, time.Since(start), nil
+}
+
+// RunTable2 runs the three setups over the synthetic Table 2 circuits.
+func RunTable2(opt Table2Options, progress func(string)) ([]Table2Row, error) {
+	if opt.Scale <= 0 {
+		opt.Scale = 0.05
+	}
+	profileFor := opt.Profile
+	if profileFor == nil {
+		profileFor = flows.ProfileFor
+	}
+	benches := circuit.Table2Benchmarks(opt.Scale)
+	if opt.MaxCircuits > 0 && opt.MaxCircuits < len(benches) {
+		benches = benches[:opt.MaxCircuits]
+	}
+	var rows []Table2Row
+	for _, b := range benches {
+		c, err := circuit.Generate(b.Profile)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := place.Place(c, place.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		nets := 0
+		for g := range c.Gates {
+			if len(c.Fanouts[g]) > 0 || c.Gates[g].IsPO {
+				nets++
+			}
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("table2: %s (%d gates, %d nets)", b.Name, c.NumGates(), nets))
+		}
+		row := Table2Row{Bench: b, Gates: c.NumGates(), Nets: nets}
+		aI, dI, rI, err := circuitFlow(flows.FlowI, c, pl, profileFor)
+		if err != nil {
+			return nil, fmt.Errorf("%s flow I: %w", b.Name, err)
+		}
+		aII, dII, rII, err := circuitFlow(flows.FlowII, c, pl, profileFor)
+		if err != nil {
+			return nil, fmt.Errorf("%s flow II: %w", b.Name, err)
+		}
+		aIII, dIII, rIII, err := circuitFlow(flows.FlowIII, c, pl, profileFor)
+		if err != nil {
+			return nil, fmt.Errorf("%s flow III: %w", b.Name, err)
+		}
+		row.AreaI, row.DelayI, row.RuntimeI = aI, dI, rI
+		row.AreaII, row.DelayII, row.RuntimeII = ratio(aII, aI), ratio(dII, dI), ratio(rII.Seconds(), rI.Seconds())
+		row.AreaIII, row.DelayIII, row.RuntimeIII = ratio(aIII, aI), ratio(dIII, dI), ratio(rIII.Seconds(), rI.Seconds())
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Averages returns the ratio-column averages.
+func Table2Averages(rows []Table2Row) (areaII, delayII, rtII, areaIII, delayIII, rtIII float64) {
+	if len(rows) == 0 {
+		return
+	}
+	for _, r := range rows {
+		areaII += r.AreaII
+		delayII += r.DelayII
+		rtII += r.RuntimeII
+		areaIII += r.AreaIII
+		delayIII += r.DelayIII
+		rtIII += r.RuntimeIII
+	}
+	n := float64(len(rows))
+	return areaII / n, delayII / n, rtII / n, areaIII / n, delayIII / n, rtIII / n
+}
+
+// WriteTable2 renders rows in the paper's layout.
+func WriteTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: Post-layout Area, Delay, and Runtime for a Set of Benchmarks")
+	fmt.Fprintln(w, strings.Repeat("-", 104))
+	fmt.Fprintf(w, "%-8s %6s %6s | %12s %8s %8s | %6s %6s %6s | %6s %6s %6s\n",
+		"Circuit", "Gates", "Nets",
+		"I:Area(λ²)", "I:Delay", "I:RT(s)",
+		"II:A", "II:D", "II:RT",
+		"III:A", "III:D", "III:RT")
+	fmt.Fprintln(w, strings.Repeat("-", 104))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %6d %6d | %12.0f %8.2f %8.2f | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+			r.Bench.Name, r.Gates, r.Nets,
+			r.AreaI, r.DelayI, r.RuntimeI.Seconds(),
+			r.AreaII, r.DelayII, r.RuntimeII,
+			r.AreaIII, r.DelayIII, r.RuntimeIII)
+	}
+	aII, dII, rII, aIII, dIII, rIII := Table2Averages(rows)
+	fmt.Fprintln(w, strings.Repeat("-", 104))
+	fmt.Fprintf(w, "%-22s | %32s | %6.2f %6.2f %6.2f | %6.2f %6.2f %6.2f\n",
+		"Average:", "", aII, dII, rII, aIII, dIII, rIII)
+	fmt.Fprintf(w, "Paper:  Flow II/I avg = 1.02 area, 1.05 delay, 0.91 rt; Flow III/I avg = 1.07 area, 0.85 delay, 1.85 rt\n")
+}

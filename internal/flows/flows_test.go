@@ -1,0 +1,115 @@
+package flows
+
+import (
+	"testing"
+
+	"merlin/internal/net"
+)
+
+func TestRunAllProducesComparableResults(t *testing.T) {
+	p := FastProfile()
+	nt := net.Generate(net.DefaultGenSpec(7, 11), p.Tech, p.Lib.Driver)
+	rs, err := RunAll(nt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("want 3 results, got %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.Flow != ID(i) {
+			t.Fatalf("result %d has flow %v", i, r.Flow)
+		}
+		if err := r.Tree.Validate(); err != nil {
+			t.Fatalf("%v: %v", r.Flow, err)
+		}
+		if r.Eval.Delay <= 0 {
+			t.Fatalf("%v: non-positive delay %g", r.Flow, r.Eval.Delay)
+		}
+		if r.Runtime <= 0 {
+			t.Fatalf("%v: no runtime recorded", r.Flow)
+		}
+	}
+	if rs[2].Loops < 1 {
+		t.Fatal("MERLIN must report its loop count")
+	}
+}
+
+func TestFlowsDeterministic(t *testing.T) {
+	p := FastProfile()
+	nt := net.Generate(net.DefaultGenSpec(6, 21), p.Tech, p.Lib.Driver)
+	for _, f := range []ID{FlowI, FlowII, FlowIII} {
+		a, err := Run(f, nt, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(f, nt, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Eval.Delay != b.Eval.Delay || a.Eval.BufferArea != b.Eval.BufferArea {
+			t.Fatalf("%v: nondeterministic results: %+v vs %+v", f, a.Eval, b.Eval)
+		}
+	}
+}
+
+func TestProfileForScalesDown(t *testing.T) {
+	small := ProfileFor(5)
+	big := ProfileFor(60)
+	if big.Core.MaxSols > small.Core.MaxSols {
+		t.Fatal("curve cap must not grow with n")
+	}
+	if big.MaxCands > small.MaxCands {
+		t.Fatal("candidate budget must not grow with n")
+	}
+	if big.Core.MaxLoops > small.Core.MaxLoops {
+		t.Fatal("loop bound must not grow with n")
+	}
+	if len(big.Lib.Buffers) > len(small.Lib.Buffers) {
+		t.Fatal("library subset must not grow with n")
+	}
+}
+
+func TestUnknownFlowRejected(t *testing.T) {
+	p := FastProfile()
+	nt := net.Generate(net.DefaultGenSpec(4, 2), p.Tech, p.Lib.Driver)
+	if _, err := Run(ID(99), nt, p); err == nil {
+		t.Fatal("unknown flow accepted")
+	}
+}
+
+func TestFlowStrings(t *testing.T) {
+	for f, want := range map[ID]string{
+		FlowI:   "I:LTTREE+PTREE",
+		FlowII:  "II:PTREE+GI90",
+		FlowIII: "III:MERLIN",
+	} {
+		if f.String() != want {
+			t.Fatalf("String(%d) = %q", int(f), f.String())
+		}
+	}
+}
+
+// TestShape is the headline qualitative claim of Table 1 on a mid net:
+// MERLIN's delay is no worse than the sequential flows' (allowing a small
+// epsilon for the DP's approximations under test-sized knobs).
+func TestShape(t *testing.T) {
+	p := ProfileFor(8)
+	p.Core.MaxLoops = 3
+	wins := 0
+	for seed := int64(200); seed < 203; seed++ {
+		nt := net.Generate(net.DefaultGenSpec(8, seed), p.Tech, p.Lib.Driver)
+		rs, err := RunAll(nt, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dI, dIII := rs[0].Eval.Delay, rs[2].Eval.Delay
+		t.Logf("seed %d: I=%.3f II=%.3f III=%.3f", seed, dI, rs[1].Eval.Delay, dIII)
+		if dIII <= dI {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Fatalf("MERLIN beat Flow I on only %d of 3 nets", wins)
+	}
+}

@@ -1,0 +1,20 @@
+package flows
+
+import (
+	"testing"
+
+	"merlin/internal/net"
+)
+
+func TestFlowsSmoke(t *testing.T) {
+	p := FastProfile()
+	nt := net.Generate(net.DefaultGenSpec(8, 42), p.Tech, p.Lib.Driver)
+	rs, err := RunAll(nt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		t.Logf("%-16v delay=%.4f req=%.4f bufarea=%8.0f wl=%8d loops=%d rt=%v",
+			r.Flow, r.Eval.Delay, r.Eval.ReqAtDriverInput, r.Eval.BufferArea, r.Eval.Wirelength, r.Loops, r.Runtime)
+	}
+}

@@ -1,0 +1,238 @@
+// Package geom provides the rectilinear geometry substrate used by every
+// routing algorithm in this repository: integer lattice points in the λ
+// coordinate system, Manhattan metrics, bounding boxes, and the Hanan grid
+// constructions that supply candidate buffer/Steiner locations.
+//
+// Coordinates are int64 λ units. All routing in this repository is
+// rectilinear, so distance is always the L1 (Manhattan) metric.
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is a location on the λ lattice.
+type Point struct {
+	X, Y int64
+}
+
+// String renders the point as "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Dist returns the Manhattan (L1) distance between p and q.
+func Dist(p, q Point) int64 {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Rect is an axis-aligned bounding rectangle. Min is inclusive, Max is
+// inclusive too: a degenerate Rect with Min==Max contains exactly one point.
+type Rect struct {
+	Min, Max Point
+}
+
+// Contains reports whether p lies inside r (borders included).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() int64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() int64 { return r.Max.Y - r.Min.Y }
+
+// HalfPerimeter returns the half-perimeter wirelength bound of r, the
+// classical lower bound on the wirelength of any Steiner tree spanning the
+// corners of r.
+func (r Rect) HalfPerimeter() int64 { return r.Width() + r.Height() }
+
+// BoundingBox returns the smallest Rect containing all pts. It panics if pts
+// is empty because a bounding box of nothing has no meaningful value.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingBox of empty point set")
+	}
+	r := Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < r.Min.X {
+			r.Min.X = p.X
+		}
+		if p.X > r.Max.X {
+			r.Max.X = p.X
+		}
+		if p.Y < r.Min.Y {
+			r.Min.Y = p.Y
+		}
+		if p.Y > r.Max.Y {
+			r.Max.Y = p.Y
+		}
+	}
+	return r
+}
+
+// CenterOfMass returns the (rounded) arithmetic mean of pts. It panics on an
+// empty slice for the same reason as BoundingBox.
+func CenterOfMass(pts []Point) Point {
+	if len(pts) == 0 {
+		panic("geom: CenterOfMass of empty point set")
+	}
+	var sx, sy int64
+	for _, p := range pts {
+		sx += p.X
+		sy += p.Y
+	}
+	n := int64(len(pts))
+	return Point{X: roundDiv(sx, n), Y: roundDiv(sy, n)}
+}
+
+// roundDiv divides a by b (b>0) rounding to nearest, halves away from zero.
+func roundDiv(a, b int64) int64 {
+	if a >= 0 {
+		return (a + b/2) / b
+	}
+	return -((-a + b/2) / b)
+}
+
+// HananGrid returns the Hanan grid of the terminal set [Ha66]: the set of
+// intersection points of the horizontal and vertical lines running through
+// every terminal. The result is sorted lexicographically (X, then Y) and
+// deduplicated; it always includes the terminals themselves.
+func HananGrid(terminals []Point) []Point {
+	xs := uniqueCoords(terminals, func(p Point) int64 { return p.X })
+	ys := uniqueCoords(terminals, func(p Point) int64 { return p.Y })
+	grid := make([]Point, 0, len(xs)*len(ys))
+	for _, x := range xs {
+		for _, y := range ys {
+			grid = append(grid, Point{X: x, Y: y})
+		}
+	}
+	return grid
+}
+
+func uniqueCoords(pts []Point, get func(Point) int64) []int64 {
+	vals := make([]int64, 0, len(pts))
+	for _, p := range pts {
+		vals = append(vals, get(p))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ReducedHanan returns at most maxK points of the Hanan grid of terminals,
+// chosen by the "simple heuristic" role the paper assigns to reduced Hanan
+// points: the terminals themselves are always kept, and the remaining budget
+// is filled with grid points that maximize the minimum distance to points
+// already chosen (farthest-point sampling). This spreads candidates over the
+// net's bounding box, which is what the DP needs — §III.1 of the paper argues
+// the exact choice of P is immaterial once k is large enough.
+//
+// If the full grid has at most maxK points it is returned unchanged. maxK
+// smaller than the number of distinct terminals is raised to that number.
+func ReducedHanan(terminals []Point, maxK int) []Point {
+	grid := HananGrid(terminals)
+	if len(grid) <= maxK {
+		return grid
+	}
+	chosen := dedupPoints(terminals)
+	if maxK < len(chosen) {
+		maxK = len(chosen)
+	}
+	// minDist[i] tracks the distance from grid[i] to the nearest chosen point.
+	minDist := make([]int64, len(grid))
+	inChosen := make(map[Point]bool, len(chosen))
+	for _, c := range chosen {
+		inChosen[c] = true
+	}
+	for i, g := range grid {
+		minDist[i] = -1
+		for _, c := range chosen {
+			d := Dist(g, c)
+			if minDist[i] < 0 || d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	for len(chosen) < maxK {
+		best, bestD := -1, int64(-1)
+		for i, g := range grid {
+			if inChosen[g] {
+				continue
+			}
+			if minDist[i] > bestD {
+				best, bestD = i, minDist[i]
+			}
+		}
+		if best < 0 || bestD == 0 {
+			break
+		}
+		pick := grid[best]
+		chosen = append(chosen, pick)
+		inChosen[pick] = true
+		for i, g := range grid {
+			if d := Dist(g, pick); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	sortPoints(chosen)
+	return chosen
+}
+
+// CenterOfMassCandidates returns candidate locations built from the centers
+// of mass of sliding windows over the given sink order, one per window size
+// in {2, 3, ..., len(order)}. This is the third candidate-set choice §III.1
+// mentions. Duplicates are removed; the result is sorted.
+func CenterOfMassCandidates(ordered []Point) []Point {
+	var out []Point
+	n := len(ordered)
+	for w := 2; w <= n; w++ {
+		for i := 0; i+w <= n; i++ {
+			out = append(out, CenterOfMass(ordered[i:i+w]))
+		}
+	}
+	out = append(out, ordered...)
+	out = dedupPoints(out)
+	sortPoints(out)
+	return out
+}
+
+func dedupPoints(pts []Point) []Point {
+	seen := make(map[Point]bool, len(pts))
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPoints(pts []Point) {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+}
+
+// SortPoints sorts pts in place lexicographically (X then Y).
+func SortPoints(pts []Point) { sortPoints(pts) }
+
+// Dedup returns pts with duplicates removed, preserving first occurrence.
+func Dedup(pts []Point) []Point { return dedupPoints(pts) }

@@ -1,0 +1,236 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistBasics(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		d    int64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 7},
+		{Point{-2, 5}, Point{2, -5}, 14},
+		{Point{10, 10}, Point{10, 20}, 10},
+	}
+	for _, c := range cases {
+		if got := Dist(c.p, c.q); got != c.d {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.p, c.q, got, c.d)
+		}
+	}
+}
+
+func TestDistMetricProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	symmetry := func(ax, ay, bx, by int32) bool {
+		a, b := Point{int64(ax), int64(ay)}, Point{int64(bx), int64(by)}
+		return Dist(a, b) == Dist(b, a)
+	}
+	if err := quick.Check(symmetry, cfg); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int32) bool {
+		a := Point{int64(ax), int64(ay)}
+		b := Point{int64(bx), int64(by)}
+		c := Point{int64(cx), int64(cy)}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)
+	}
+	if err := quick.Check(triangle, cfg); err != nil {
+		t.Error(err)
+	}
+	identity := func(ax, ay int32) bool {
+		a := Point{int64(ax), int64(ay)}
+		return Dist(a, a) == 0
+	}
+	if err := quick.Check(identity, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{{3, 7}, {-1, 2}, {5, -4}, {0, 0}}
+	r := BoundingBox(pts)
+	want := Rect{Min: Point{-1, -4}, Max: Point{5, 7}}
+	if r != want {
+		t.Fatalf("BoundingBox = %v, want %v", r, want)
+	}
+	for _, p := range pts {
+		if !r.Contains(p) {
+			t.Errorf("box %v should contain %v", r, p)
+		}
+	}
+	if r.Width() != 6 || r.Height() != 11 || r.HalfPerimeter() != 17 {
+		t.Errorf("dims wrong: w=%d h=%d hp=%d", r.Width(), r.Height(), r.HalfPerimeter())
+	}
+}
+
+func TestBoundingBoxPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty point set")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestCenterOfMass(t *testing.T) {
+	if got := CenterOfMass([]Point{{0, 0}, {10, 10}}); got != (Point{5, 5}) {
+		t.Errorf("CenterOfMass = %v", got)
+	}
+	if got := CenterOfMass([]Point{{1, 1}}); got != (Point{1, 1}) {
+		t.Errorf("singleton CenterOfMass = %v", got)
+	}
+	// The center must stay inside the bounding box.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(9)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Int63n(1000) - 500, rng.Int63n(1000) - 500}
+		}
+		return BoundingBox(pts).Contains(CenterOfMass(pts))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHananGrid(t *testing.T) {
+	terms := []Point{{0, 0}, {10, 5}, {3, 8}}
+	grid := HananGrid(terms)
+	if len(grid) != 9 { // 3 distinct x × 3 distinct y
+		t.Fatalf("Hanan grid size = %d, want 9", len(grid))
+	}
+	inGrid := map[Point]bool{}
+	for _, p := range grid {
+		inGrid[p] = true
+	}
+	for _, p := range terms {
+		if !inGrid[p] {
+			t.Errorf("terminal %v missing from its Hanan grid", p)
+		}
+	}
+	// Duplicated coordinates collapse.
+	grid2 := HananGrid([]Point{{0, 0}, {0, 0}, {0, 5}})
+	if len(grid2) != 2 {
+		t.Errorf("degenerate grid size = %d, want 2", len(grid2))
+	}
+}
+
+func TestHananGridSizeProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		pts := make([]Point, n)
+		xs, ys := map[int64]bool{}, map[int64]bool{}
+		for i := range pts {
+			pts[i] = Point{rng.Int63n(50), rng.Int63n(50)}
+			xs[pts[i].X] = true
+			ys[pts[i].Y] = true
+		}
+		return len(HananGrid(pts)) == len(xs)*len(ys)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReducedHanan(t *testing.T) {
+	terms := []Point{{0, 0}, {100, 0}, {0, 100}, {100, 100}, {50, 30}}
+	full := HananGrid(terms)
+	red := ReducedHanan(terms, 8)
+	if len(red) > 8 && len(red) > len(Dedup(terms)) {
+		t.Fatalf("ReducedHanan returned %d points for budget 8", len(red))
+	}
+	inFull := map[Point]bool{}
+	for _, p := range full {
+		inFull[p] = true
+	}
+	for _, p := range red {
+		if !inFull[p] {
+			t.Errorf("reduced point %v not on the Hanan grid", p)
+		}
+	}
+	inRed := map[Point]bool{}
+	for _, p := range red {
+		inRed[p] = true
+	}
+	for _, p := range terms {
+		if !inRed[p] {
+			t.Errorf("terminal %v dropped by ReducedHanan", p)
+		}
+	}
+	// A budget at least the grid size returns the whole grid.
+	all := ReducedHanan(terms, len(full))
+	if len(all) != len(full) {
+		t.Errorf("budget=grid size returned %d of %d", len(all), len(full))
+	}
+}
+
+func TestCenterOfMassCandidates(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 0}, {20, 0}}
+	cands := CenterOfMassCandidates(pts)
+	seen := map[Point]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+	}
+	for _, p := range pts {
+		if !seen[p] {
+			t.Errorf("candidate set should include terminal %v", p)
+		}
+	}
+	if !seen[Point{5, 0}] || !seen[Point{15, 0}] || !seen[Point{10, 0}] {
+		t.Errorf("missing window centers in %v", cands)
+	}
+}
+
+func TestSortAndDedup(t *testing.T) {
+	pts := []Point{{5, 5}, {1, 2}, {5, 5}, {1, 1}}
+	d := Dedup(pts)
+	if len(d) != 3 {
+		t.Fatalf("Dedup len = %d, want 3", len(d))
+	}
+	SortPoints(d)
+	for i := 1; i < len(d); i++ {
+		if d[i-1].X > d[i].X || (d[i-1].X == d[i].X && d[i-1].Y > d[i].Y) {
+			t.Fatalf("not sorted: %v", d)
+		}
+	}
+}
+
+// TestReducedHananBudgetProperty via testing/quick: the budget is respected
+// whenever it covers the terminals, and all terminals always survive.
+func TestReducedHananBudgetProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		terms := make([]Point, n)
+		for i := range terms {
+			terms[i] = Point{X: rng.Int63n(200), Y: rng.Int63n(200)}
+		}
+		budget := len(Dedup(terms)) + rng.Intn(10)
+		red := ReducedHanan(terms, budget)
+		if len(red) > budget {
+			return false
+		}
+		have := map[Point]bool{}
+		for _, p := range red {
+			have[p] = true
+		}
+		for _, p := range terms {
+			if !have[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

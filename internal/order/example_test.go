@@ -1,0 +1,34 @@
+package order_test
+
+import (
+	"fmt"
+
+	"merlin/internal/order"
+)
+
+// The neighborhood of Definition 4 contains every order whose per-sink
+// position shift is at most one — Example 2 of the paper.
+func ExampleInNeighborhood() {
+	pi := order.Identity(9)
+	piPrime := order.Order{0, 2, 1, 3, 4, 5, 7, 6, 8} // (s1,s3,s2,s4,s5,s6,s8,s7,s9)
+	fmt.Println(order.InNeighborhood(pi, piPrime))
+	// Output: true
+}
+
+// Theorem 1 (corrected index): |N(Π)| follows the Fibonacci numbers.
+func ExampleNeighborhoodSize() {
+	for n := 1; n <= 6; n++ {
+		fmt.Print(order.NeighborhoodSize(n), " ")
+	}
+	fmt.Println()
+	// Output: 1 2 3 5 8 13
+}
+
+// Lemma 4: every neighbor decomposes into non-overlapping adjacent swaps.
+func ExampleNonOverlappingSwaps() {
+	pi := order.Identity(6)
+	neighbor := order.Order{1, 0, 2, 4, 3, 5}
+	swaps, ok := order.NonOverlappingSwaps(pi, neighbor)
+	fmt.Println(swaps, ok)
+	// Output: [0 3] true
+}

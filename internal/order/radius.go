@@ -1,0 +1,119 @@
+package order
+
+// §3.2.2 closes with the extension to "structures with more than one bubble
+// on each side", which cover larger neighborhoods at an exponential cost in
+// grouping structures. This file provides the order-space side of that
+// analysis: radius-d neighborhoods
+//
+//	N_d(Π) = { Π' : |Π(i) − Π'(i)| ≤ d for every sink i },
+//
+// their exact sizes (via a windowed bitmask dynamic program — for d ≥ 2
+// there is no Fibonacci-style closed form), and membership tests. The DP
+// engine itself implements only d = 1 (the paper's choice); these utilities
+// quantify what the extension would buy.
+
+// InNeighborhoodRadius reports whether p ∈ N_d(o).
+func InNeighborhoodRadius(o, p Order, d int) bool {
+	if len(o) != len(p) {
+		return false
+	}
+	po, pp := o.Positions(), p.Positions()
+	for s := range po {
+		diff := po[s] - pp[s]
+		if diff < -d || diff > d {
+			return false
+		}
+	}
+	return true
+}
+
+// NeighborhoodSizeRadius counts |N_d(Π)| exactly: the number of permutations
+// of n elements with displacement at most d. It runs a left-to-right DP
+// whose state is a bitmask over the 2d+1-wide window of already-used
+// candidates; complexity O(n·2^(2d+1)), fine for the small d the analysis
+// needs. d = 1 reproduces NeighborhoodSize (a property test pins this).
+func NeighborhoodSizeRadius(n, d int) uint64 {
+	if n <= 0 {
+		return 1
+	}
+	if d <= 0 {
+		return 1
+	}
+	w := 2*d + 1
+	if w > 25 {
+		panic("order: NeighborhoodSizeRadius supports d <= 12")
+	}
+	// Processing positions left to right; the mask records, relative to the
+	// current position, which elements of the window [pos-d, pos+d] are
+	// already placed. Bit j of the mask = element (pos - d + j) used.
+	type state = uint32
+	cur := map[state]uint64{0: 1}
+	for pos := 0; pos < n; pos++ {
+		next := make(map[state]uint64, len(cur))
+		for mask, cnt := range cur {
+			for j := 0; j < w; j++ {
+				elem := pos - d + j
+				if elem < 0 || elem >= n {
+					continue
+				}
+				if mask&(1<<uint(j)) != 0 {
+					continue
+				}
+				nm := mask | 1<<uint(j)
+				// Shift the window one right; the leaving element (j = 0,
+				// i.e. pos-d) must have been used, or it can never be used.
+				if nm&1 == 0 && pos-d >= 0 {
+					continue
+				}
+				next[nm>>1] += cnt
+			}
+		}
+		cur = next
+	}
+	var total uint64
+	for _, cnt := range cur {
+		total += cnt
+	}
+	return total
+}
+
+// NeighborhoodRadius enumerates N_d(o) for small instances (tests and
+// analysis only; the count grows as the DP above shows).
+func NeighborhoodRadius(o Order, d int) []Order {
+	n := len(o)
+	if n == 0 {
+		return []Order{{}}
+	}
+	var out []Order
+	perm := make([]int, n) // perm[pos] = original position placed at pos
+	used := make([]bool, n)
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == n {
+			m := make(Order, n)
+			for q, orig := range perm {
+				m[q] = o[orig]
+			}
+			out = append(out, m)
+			return
+		}
+		lo, hi := pos-d, pos+d
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		for orig := lo; orig <= hi; orig++ {
+			if used[orig] {
+				continue
+			}
+			used[orig] = true
+			perm[pos] = orig
+			rec(pos + 1)
+			used[orig] = false
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,60 @@
+package order
+
+import "testing"
+
+func TestRadiusOneMatchesTheorem1(t *testing.T) {
+	for n := 0; n <= 16; n++ {
+		if got, want := NeighborhoodSizeRadius(n, 1), NeighborhoodSize(n); got != want {
+			t.Errorf("n=%d: radius-1 count %d != Fibonacci count %d", n, got, want)
+		}
+	}
+}
+
+func TestRadiusEnumMatchesCount(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		for n := 1; n <= 7; n++ {
+			enum := NeighborhoodRadius(Identity(n), d)
+			if uint64(len(enum)) != NeighborhoodSizeRadius(n, d) {
+				t.Fatalf("n=%d d=%d: enum %d vs DP %d", n, d, len(enum), NeighborhoodSizeRadius(n, d))
+			}
+			seen := map[string]bool{}
+			for _, p := range enum {
+				if !p.Valid() || !InNeighborhoodRadius(Identity(n), p, d) {
+					t.Fatalf("n=%d d=%d: bad member %v", n, d, p)
+				}
+				if seen[p.String()] {
+					t.Fatalf("duplicate %v", p)
+				}
+				seen[p.String()] = true
+			}
+		}
+	}
+}
+
+func TestRadiusMonotone(t *testing.T) {
+	// Larger radius ⇒ strictly more orders (until everything is reachable).
+	n := 8
+	prev := uint64(0)
+	for d := 0; d <= 4; d++ {
+		cnt := NeighborhoodSizeRadius(n, d)
+		if cnt < prev {
+			t.Fatalf("d=%d: count %d shrank from %d", d, cnt, prev)
+		}
+		prev = cnt
+	}
+	// Radius n-1 covers every permutation: 8! = 40320.
+	if got := NeighborhoodSizeRadius(8, 7); got != 40320 {
+		t.Fatalf("full radius must count all permutations: %d", got)
+	}
+}
+
+func TestInNeighborhoodRadius(t *testing.T) {
+	o := Identity(5)
+	far := Order{2, 1, 0, 3, 4} // displacement 2
+	if InNeighborhoodRadius(o, far, 1) {
+		t.Fatal("displacement 2 inside radius 1")
+	}
+	if !InNeighborhoodRadius(o, far, 2) {
+		t.Fatal("displacement 2 outside radius 2")
+	}
+}

@@ -1,0 +1,163 @@
+// Package place is the placement substrate for the Table 2 full-flow
+// experiments: it assigns every gate of a circuit a legal position on a
+// λ-grid die. The paper's flow uses the placement of [LSP98]; that tool is
+// not available, so this package provides a standard connectivity-driven
+// heuristic — random seeding followed by iterated median improvement
+// (force-directed relaxation with grid legalization) — which produces the
+// wirelength locality the routing flows need.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"merlin/internal/circuit"
+	"merlin/internal/geom"
+)
+
+// Options tune the placer.
+type Options struct {
+	// CellPitch is the site spacing in λ; gates occupy one site each.
+	CellPitch int64
+	// Passes is the number of median-improvement sweeps.
+	Passes int
+	// Seed drives the initial random placement.
+	Seed int64
+}
+
+// DefaultOptions returns the experiment configuration.
+func DefaultOptions() Options { return Options{CellPitch: 400, Passes: 8, Seed: 7} }
+
+// Placement maps gate IDs to die positions.
+type Placement struct {
+	Circuit *circuit.Circuit
+	Pos     []geom.Point
+	// Die is the bounding box of legal sites.
+	Die geom.Rect
+	// Cols is the number of grid columns.
+	Cols int
+}
+
+// Place runs the placer on a circuit.
+func Place(c *circuit.Circuit, opts Options) (*Placement, error) {
+	if opts.CellPitch <= 0 {
+		opts.CellPitch = 2000
+	}
+	// Passes is honored as given: zero means "random placement only", which
+	// placement-quality experiments use as their baseline.
+	n := len(c.Gates)
+	if n == 0 {
+		return nil, fmt.Errorf("place: empty circuit")
+	}
+	// Square-ish grid with ~20% whitespace.
+	cols := 1
+	for cols*cols < n+n/5 {
+		cols++
+	}
+	rows := (n + n/5 + cols - 1) / cols
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	p := &Placement{
+		Circuit: c,
+		Pos:     make([]geom.Point, n),
+		Cols:    cols,
+		Die: geom.Rect{
+			Min: geom.Point{X: 0, Y: 0},
+			Max: geom.Point{X: int64(cols-1) * opts.CellPitch, Y: int64(rows-1) * opts.CellPitch},
+		},
+	}
+	// site assignment: siteOf[gate] = site index; occupied[site] = gate or -1.
+	nSites := cols * rows
+	siteOf := rng.Perm(nSites)[:n]
+	occupied := make([]int, nSites)
+	for i := range occupied {
+		occupied[i] = -1
+	}
+	for g, s := range siteOf {
+		occupied[s] = g
+	}
+	sitePos := func(s int) geom.Point {
+		return geom.Point{X: int64(s%cols) * opts.CellPitch, Y: int64(s/cols) * opts.CellPitch}
+	}
+
+	// Median improvement: move each gate toward the median of its neighbors,
+	// swapping with the occupant of the best nearby free-ish site.
+	neighbors := make([][]int, n)
+	for _, g := range c.Gates {
+		for _, f := range g.Fanins {
+			neighbors[g.ID] = append(neighbors[g.ID], f)
+			neighbors[f] = append(neighbors[f], g.ID)
+		}
+	}
+	for pass := 0; pass < opts.Passes; pass++ {
+		ord := rng.Perm(n)
+		for _, g := range ord {
+			nb := neighbors[g]
+			if len(nb) == 0 {
+				continue
+			}
+			xs := make([]int64, 0, len(nb))
+			ys := make([]int64, 0, len(nb))
+			for _, o := range nb {
+				pos := sitePos(siteOf[o])
+				xs = append(xs, pos.X)
+				ys = append(ys, pos.Y)
+			}
+			target := geom.Point{X: median(xs), Y: median(ys)}
+			// Desired site (clamped).
+			col := int(target.X / opts.CellPitch)
+			row := int(target.Y / opts.CellPitch)
+			col = clamp(col, 0, cols-1)
+			row = clamp(row, 0, rows-1)
+			dest := row*cols + col
+			if dest == siteOf[g] {
+				continue
+			}
+			// Swap with the destination occupant (or take a free site).
+			other := occupied[dest]
+			src := siteOf[g]
+			occupied[src], occupied[dest] = other, g
+			siteOf[g] = dest
+			if other >= 0 {
+				siteOf[other] = src
+			}
+		}
+	}
+	for g := 0; g < n; g++ {
+		p.Pos[g] = sitePos(siteOf[g])
+	}
+	return p, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func median(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v[len(v)/2]
+}
+
+// HPWL returns the total half-perimeter wirelength of all nets under the
+// placement, the placer's quality metric.
+func (p *Placement) HPWL() int64 {
+	var total int64
+	for src, fan := range p.Circuit.Fanouts {
+		if len(fan) == 0 {
+			continue
+		}
+		pts := []geom.Point{p.Pos[src]}
+		for _, g := range fan {
+			pts = append(pts, p.Pos[g])
+		}
+		total += geom.BoundingBox(pts).HalfPerimeter()
+	}
+	return total
+}

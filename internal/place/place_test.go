@@ -1,0 +1,80 @@
+package place
+
+import (
+	"testing"
+
+	"merlin/internal/circuit"
+	"merlin/internal/geom"
+)
+
+func testCircuit(t *testing.T, gates int) *circuit.Circuit {
+	t.Helper()
+	c, err := circuit.Generate(circuit.Profile{
+		Name: "t", NumPIs: 10, NumGate: gates, NumPOs: 5, Locality: 0.5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlaceLegal(t *testing.T) {
+	c := testCircuit(t, 120)
+	p, err := Place(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Pos) != len(c.Gates) {
+		t.Fatalf("placed %d of %d gates", len(p.Pos), len(c.Gates))
+	}
+	seen := map[geom.Point]int{}
+	for g, pos := range p.Pos {
+		if !p.Die.Contains(pos) {
+			t.Fatalf("gate %d at %v outside die %v", g, pos, p.Die)
+		}
+		if other, dup := seen[pos]; dup {
+			t.Fatalf("gates %d and %d share site %v", other, g, pos)
+		}
+		seen[pos] = g
+		if pos.X%DefaultOptions().CellPitch != 0 || pos.Y%DefaultOptions().CellPitch != 0 {
+			t.Fatalf("gate %d off-grid at %v", g, pos)
+		}
+	}
+}
+
+func TestPlaceImprovesWirelength(t *testing.T) {
+	c := testCircuit(t, 200)
+	opts := DefaultOptions()
+	opts.Passes = 0
+	random, err := Place(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Passes = 8
+	improved, err := Place(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.HPWL() >= random.HPWL() {
+		t.Fatalf("median passes did not improve HPWL: %d -> %d", random.HPWL(), improved.HPWL())
+	}
+	t.Logf("HPWL %d -> %d (%.1f%%)", random.HPWL(), improved.HPWL(),
+		100*float64(random.HPWL()-improved.HPWL())/float64(random.HPWL()))
+}
+
+func TestPlaceReproducible(t *testing.T) {
+	c := testCircuit(t, 80)
+	a, _ := Place(c, DefaultOptions())
+	b, _ := Place(c, DefaultOptions())
+	for g := range a.Pos {
+		if a.Pos[g] != b.Pos[g] {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}
+
+func TestPlaceRejectsEmpty(t *testing.T) {
+	if _, err := Place(&circuit.Circuit{Name: "e"}, DefaultOptions()); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+}

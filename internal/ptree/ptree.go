@@ -1,0 +1,295 @@
+// Package ptree implements PTREE, the second phase of the P-Tree algorithm
+// of Lillis, Cheng, Lin and Ho [LCLH96], which the paper uses as the routing
+// baseline in Flows I and II and as the skeleton that *PTREE extends.
+//
+// Given a sink order, PTREE finds the optimal rectilinear routing embedding
+// over a set of candidate (Hanan) points by dynamic programming over
+// contiguous order intervals: S(p,i,j) is the non-inferior solution curve of
+// routings rooted at candidate p driving sinks i..j of the order. Curves are
+// (load, required time, wire cost) triples pruned per Definition 6; the wire
+// cost occupies the curve's Area dimension so callers get the paper's
+// explicit area/delay trade-off.
+package ptree
+
+import (
+	"fmt"
+
+	"merlin/internal/curve"
+	"merlin/internal/geom"
+	"merlin/internal/net"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+	"merlin/internal/tree"
+)
+
+// Options tune the DP's practical knobs.
+type Options struct {
+	// MaxSols caps every solution curve (0 = uncapped). Capping trades
+	// optimality for speed exactly like coarser load quantization.
+	MaxSols int
+	// TransferHops is the number of Bellman-Ford sweeps propagating merged
+	// curves across candidate locations (the S = min{d(p,p′)+S′} recursion).
+	// One sweep finds all single-hop transfers; additional sweeps approach
+	// the fixed point. Values above 2 rarely change results.
+	TransferHops int
+	// WireCostWeight scales how wirelength enters the curve's area
+	// dimension; 1 reports raw λ.
+	WireCostWeight float64
+}
+
+// DefaultOptions returns the options used by the experiments.
+func DefaultOptions() Options {
+	return Options{MaxSols: 10, TransferHops: 2, WireCostWeight: 1}
+}
+
+func (o Options) withDefaults() Options {
+	if o.TransferHops <= 0 {
+		o.TransferHops = 1
+	}
+	if o.WireCostWeight <= 0 {
+		o.WireCostWeight = 1
+	}
+	return o
+}
+
+// ref reconstructs solutions; it is stored in curve.Solution.Ref.
+type ref struct {
+	point int // candidate index the solution is rooted at
+	// Exactly one of the following shapes is set:
+	sink        int  // leaf: sink index (valid when isLeaf)
+	isLeaf      bool //
+	left, right *ref // join at the same point
+	via         *ref // transfer: wire from point to via.point
+}
+
+// Solver runs PTREE on one net. Create with NewSolver, then call Solve with
+// any sink order; the candidate set and technology are fixed per solver.
+type Solver struct {
+	Net   *net.Net
+	Cands []geom.Point
+	Tech  rc.Technology
+	Opts  Options
+
+	srcIdx int
+	dist   [][]int64 // candidate-to-candidate Manhattan distances
+}
+
+// NewSolver prepares a PTREE solver. The source position is appended to the
+// candidate set if not already present, because the final tree is rooted
+// there.
+func NewSolver(n *net.Net, cands []geom.Point, tech rc.Technology, opts Options) *Solver {
+	s := &Solver{Net: n, Tech: tech, Opts: opts.withDefaults()}
+	s.Cands = append(s.Cands, cands...)
+	s.srcIdx = -1
+	for i, p := range s.Cands {
+		if p == n.Source {
+			s.srcIdx = i
+			break
+		}
+	}
+	if s.srcIdx < 0 {
+		s.srcIdx = len(s.Cands)
+		s.Cands = append(s.Cands, n.Source)
+	}
+	k := len(s.Cands)
+	s.dist = make([][]int64, k)
+	for i := range s.dist {
+		s.dist[i] = make([]int64, k)
+		for j := range s.dist[i] {
+			s.dist[i][j] = geom.Dist(s.Cands[i], s.Cands[j])
+		}
+	}
+	return s
+}
+
+// SourceIndex returns the candidate index of the net source.
+func (s *Solver) SourceIndex() int { return s.srcIdx }
+
+// leafCurve builds S(p, i, i): the direct minimum-distance routing from
+// candidate p to the sink at order position i.
+func (s *Solver) leafCurve(p, sinkIdx int) *curve.Curve {
+	sk := s.Net.Sinks[sinkIdx]
+	wl := geom.Dist(s.Cands[p], sk.Pos)
+	c := &curve.Curve{}
+	c.Add(curve.Solution{
+		Load: s.Tech.QuantizeLoad(sk.Load + s.Tech.WireC(wl)),
+		Req:  sk.Req - s.Tech.WireElmore(wl, sk.Load),
+		Area: s.Opts.WireCostWeight * float64(wl),
+		Ref:  &ref{point: p, sink: sinkIdx, isLeaf: true},
+	})
+	return c
+}
+
+// Curves computes the full DP table for the given order and returns the
+// final solution curve at every candidate: result[p] covers all sinks rooted
+// at candidate p. The caller picks a solution and calls BuildTree.
+func (s *Solver) Curves(ord order.Order) []*curve.Curve {
+	n := len(ord)
+	if n == 0 {
+		return nil
+	}
+	k := len(s.Cands)
+	// tab[p][i][j] with j >= i; index intervals by i*n + j.
+	tab := make([][]*curve.Curve, k)
+	for p := 0; p < k; p++ {
+		tab[p] = make([]*curve.Curve, n*n)
+		for i := 0; i < n; i++ {
+			tab[p][i*n+i] = s.leafCurve(p, ord[i])
+		}
+	}
+	s.transfer(tab, 0, 0, n)
+	for L := 2; L <= n; L++ {
+		for i := 0; i+L-1 < n; i++ {
+			j := i + L - 1
+			for p := 0; p < k; p++ {
+				acc := &curve.Curve{}
+				for u := i; u < j; u++ {
+					left, right := tab[p][i*n+u], tab[p][(u+1)*n+j]
+					if left == nil || right == nil || left.Empty() || right.Empty() {
+						continue
+					}
+					acc.AddAll(curve.JoinOp(left, right, func(x, y curve.Solution) any {
+						return &ref{point: p, left: x.Ref.(*ref), right: y.Ref.(*ref)}
+					}))
+				}
+				acc.Prune()
+				acc.Cap(s.Opts.MaxSols)
+				tab[p][i*n+j] = acc
+			}
+			s.transfer(tab, i, j, n)
+		}
+	}
+	out := make([]*curve.Curve, k)
+	for p := 0; p < k; p++ {
+		out[p] = tab[p][0*n+(n-1)]
+	}
+	return out
+}
+
+// transfer runs the S(p,i,j) = min{ d(p,p′) + S(p′,i,j) } relaxation for one
+// interval across all candidate pairs, Opts.TransferHops times.
+func (s *Solver) transfer(tab [][]*curve.Curve, i, j, n int) {
+	k := len(s.Cands)
+	idx := i*n + j
+	for hop := 0; hop < s.Opts.TransferHops; hop++ {
+		snapshots := make([]*curve.Curve, k)
+		for p := 0; p < k; p++ {
+			snapshots[p] = tab[p][idx]
+		}
+		for p := 0; p < k; p++ {
+			acc := tab[p][idx]
+			if acc == nil {
+				acc = &curve.Curve{}
+			}
+			for q := 0; q < k; q++ {
+				if q == p || snapshots[q] == nil || snapshots[q].Empty() {
+					continue
+				}
+				wl := s.dist[p][q]
+				moved := snapshots[q].WireOp(s.Tech, wl, func(old curve.Solution) any {
+					return &ref{point: p, via: old.Ref.(*ref)}
+				})
+				for si := range moved.Sols {
+					moved.Sols[si].Area += s.Opts.WireCostWeight * float64(wl)
+				}
+				acc.AddAll(moved)
+			}
+			acc.Prune()
+			acc.Cap(s.Opts.MaxSols)
+			tab[p][idx] = acc
+		}
+	}
+}
+
+// Solve runs the DP for the given order, picks the best-required-time
+// solution at the source, and returns the routing tree plus the chosen
+// solution triple. It returns an error if the net is degenerate.
+func (s *Solver) Solve(ord order.Order) (*tree.Tree, curve.Solution, error) {
+	if len(ord) != s.Net.N() || !ord.Valid() {
+		return nil, curve.Solution{}, fmt.Errorf("ptree: order must be a permutation of the %d sinks", s.Net.N())
+	}
+	finals := s.Curves(ord)
+	final := finals[s.srcIdx]
+	if final == nil || final.Empty() {
+		return nil, curve.Solution{}, fmt.Errorf("ptree: no solution at source")
+	}
+	best, _ := final.BestReq()
+	t := s.BuildTree(best)
+	return t, best, nil
+}
+
+// BuildTree reconstructs the routing tree of a solution returned by Curves
+// or Solve. The solution must be rooted at the source candidate.
+func (s *Solver) BuildTree(sol curve.Solution) *tree.Tree {
+	t := tree.New(s.Net)
+	r := sol.Ref.(*ref)
+	node := s.buildNode(r)
+	if r.point == s.srcIdx {
+		// The DP root coincides with the source: graft its children directly.
+		t.Root.Children = node.Children
+	} else {
+		t.Root.AddChild(node)
+	}
+	return t
+}
+
+// buildNode turns a ref DAG into tree nodes. Joins at the same point are
+// flattened into a single Steiner node so the output degree reflects the
+// physical branch.
+func (s *Solver) buildNode(r *ref) *tree.Node {
+	n := &tree.Node{Kind: tree.KindSteiner, Pos: s.Cands[r.point]}
+	switch {
+	case r.isLeaf:
+		n.AddChild(&tree.Node{Kind: tree.KindSink, Pos: s.Net.Sinks[r.sink].Pos, SinkIdx: r.sink})
+	case r.via != nil:
+		child := s.buildNode(r.via)
+		if child.Pos == n.Pos {
+			n.Children = child.Children
+		} else {
+			n.AddChild(child)
+		}
+	default:
+		for _, part := range []*ref{r.left, r.right} {
+			sub := s.buildNode(part)
+			// Sub is rooted at the same point; flatten its children here.
+			n.Children = append(n.Children, sub.Children...)
+		}
+	}
+	return n
+}
+
+// BestAtSource returns the best required-time solution of the final curve at
+// the source for the given order, without building the tree. Used by tests
+// and by callers that only need the frontier.
+func (s *Solver) BestAtSource(ord order.Order) (curve.Solution, error) {
+	finals := s.Curves(ord)
+	final := finals[s.srcIdx]
+	if final == nil || final.Empty() {
+		return curve.Solution{}, fmt.Errorf("ptree: no solution at source")
+	}
+	best, ok := final.BestReq()
+	if !ok {
+		return curve.Solution{}, fmt.Errorf("ptree: empty final curve")
+	}
+	return best, nil
+}
+
+// ReqAtDriverInput converts a root solution into the driver-input required
+// time using the net's driver model (or fallback drv).
+func (s *Solver) ReqAtDriverInput(sol curve.Solution, drv rc.Gate) float64 {
+	driver := s.Net.Driver
+	if driver.Name == "" {
+		driver = drv
+	}
+	return sol.Req - driver.DelayNominal(s.Tech, sol.Load)
+}
+
+// WirelengthOf returns the λ wirelength recorded in a solution's area
+// dimension (undoing WireCostWeight).
+func (s *Solver) WirelengthOf(sol curve.Solution) float64 {
+	w := s.Opts.WireCostWeight
+	if w <= 0 {
+		w = 1
+	}
+	return sol.Area / w
+}

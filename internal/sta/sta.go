@@ -1,0 +1,246 @@
+// Package sta is the static timing analysis substrate for the Table 2
+// full-flow experiments: arrival-time and required-time propagation over a
+// placed circuit whose nets may carry buffered routing trees. Wire timing
+// comes from tree.PathDelays (Elmore + slew propagation); unrouted nets fall
+// back to a dedicated-wire (star) estimate, which is what the flows use to
+// derive per-sink required times before routing.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"merlin/internal/circuit"
+	"merlin/internal/geom"
+	"merlin/internal/place"
+	"merlin/internal/rc"
+	"merlin/internal/tree"
+)
+
+// POLoad is the pin capacitance (pF) assumed for primary outputs.
+const POLoad = 0.030
+
+// Timer runs timing over one placed circuit.
+type Timer struct {
+	C    *circuit.Circuit
+	P    *place.Placement
+	Tech rc.Technology
+	// Trees[g] is the buffered routing tree of the net driven by gate g
+	// (nil = star estimate). Tree sink order must match SinkPins(g).
+	Trees []*tree.Tree
+}
+
+// New prepares a timer with no routed nets.
+func New(c *circuit.Circuit, p *place.Placement, tech rc.Technology) *Timer {
+	return &Timer{C: c, P: p, Tech: tech, Trees: make([]*tree.Tree, len(c.Gates))}
+}
+
+// Pin identifies one sink pin of a net: a consumer gate and its input index,
+// or a primary output (Gate < 0 means the PO pseudo-pin).
+type Pin struct {
+	Gate int // consuming gate ID; -1 for the PO pin
+	In   int // input pin index on the consumer
+}
+
+// SinkPins returns the ordered sink pins of the net driven by gate g: every
+// (consumer, pin) pair plus the PO pseudo-pin if g is a primary output. The
+// order is canonical — routing trees for this net must index sinks the same
+// way.
+func (t *Timer) SinkPins(g int) []Pin {
+	var pins []Pin
+	seen := map[int]bool{}
+	for _, c := range t.C.Fanouts[g] {
+		if seen[c] {
+			continue // Fanouts lists a consumer once per driven input
+		}
+		seen[c] = true
+		for in, f := range t.C.Gates[c].Fanins {
+			if f == g {
+				pins = append(pins, Pin{Gate: c, In: in})
+			}
+		}
+	}
+	if t.C.Gates[g].IsPO {
+		pins = append(pins, Pin{Gate: -1})
+	}
+	return pins
+}
+
+// PinLoad returns the capacitance of a sink pin.
+func (t *Timer) PinLoad(p Pin) float64 {
+	if p.Gate < 0 {
+		return POLoad
+	}
+	return t.C.Gates[p.Gate].Cell.Timing.Cin
+}
+
+// PinPos returns the placed position of a sink pin.
+func (t *Timer) PinPos(p Pin, src int) geom.Point {
+	if p.Gate < 0 {
+		return t.P.Pos[src] // PO pad co-located with its driver
+	}
+	return t.P.Pos[p.Gate]
+}
+
+// Report is a timing run's result.
+type Report struct {
+	// AT and Slew are the arrival time and transition at each gate output.
+	AT, Slew []float64
+	// RAT is the required arrival time at each gate output for the target.
+	RAT []float64
+	// Delay is the maximum PO arrival time (the circuit delay).
+	Delay float64
+	// Target is the RAT anchor used at POs.
+	Target float64
+	// CritPO is the primary output realizing Delay.
+	CritPO int
+}
+
+// Slack returns RAT − AT at gate g's output.
+func (r *Report) Slack(g int) float64 { return r.RAT[g] - r.AT[g] }
+
+// netTiming captures one net's timing: driver load and per-pin delay/slew.
+type netTiming struct {
+	load float64
+	per  []tree.PathTiming
+}
+
+// timeNet times the net driven by g for a given driver output slew.
+func (t *Timer) timeNet(g int, rootSlew float64) netTiming {
+	pins := t.SinkPins(g)
+	if tr := t.Trees[g]; tr != nil {
+		load, per := tr.PathDelays(t.Tech, rootSlew)
+		return netTiming{load: load, per: per}
+	}
+	// Star estimate: a dedicated wire from driver to each pin.
+	nt := netTiming{per: make([]tree.PathTiming, len(pins))}
+	src := t.P.Pos[g]
+	for i, p := range pins {
+		wl := geom.Dist(src, t.PinPos(p, g))
+		cl := t.PinLoad(p)
+		el := t.Tech.WireElmore(wl, cl)
+		nt.per[i] = tree.PathTiming{Delay: el, Slew: t.Tech.WireSlewOut(rootSlew, el)}
+		nt.load += t.Tech.WireC(wl) + cl
+	}
+	return nt
+}
+
+// DriverOf returns the timing model driving net g: the gate's cell, or a
+// default PI pad driver.
+func (t *Timer) DriverOf(g int) rc.Gate {
+	if gate := t.C.Gates[g]; gate.Cell != nil {
+		return gate.Cell.Timing
+	}
+	// PI driver: a medium inverter-like pad model.
+	return rc.Gate{Name: "PI_DRV", K0: 0.05, K1: 0.8, K2: 0.1, K3: 0.01, S0: 0.05, S1: 1.5, Cin: 0.01, Area: 1}
+}
+
+// Run propagates arrivals forward and required times backward. target <= 0
+// anchors RAT at the computed circuit delay (zero worst slack).
+func (t *Timer) Run(target float64) (*Report, error) {
+	n := len(t.C.Gates)
+	r := &Report{
+		AT:   make([]float64, n),
+		Slew: make([]float64, n),
+		RAT:  make([]float64, n),
+	}
+	// pinAT[g][in] caches arrival and slew at consumer input pins.
+	type pinT struct{ at, slew float64 }
+	pinAT := make([]map[int]pinT, n) // gate -> input index -> timing
+	for i := range pinAT {
+		pinAT[i] = map[int]pinT{}
+	}
+	poAT := map[int]float64{}
+
+	// Forward pass in topological order (gate IDs are topological).
+	for g := 0; g < n; g++ {
+		gate := t.C.Gates[g]
+		if gate.Cell == nil { // PI
+			r.AT[g] = 0
+			r.Slew[g] = t.DriverOf(g).SlewOut(t.timeNet(g, 0).load)
+		} else {
+			at, slew := math.Inf(-1), t.Tech.NominalSlew
+			nt := t.timeNet(g, 0) // load does not depend on slew
+			for in := range gate.Fanins {
+				pt, ok := pinAT[g][in]
+				if !ok {
+					return nil, fmt.Errorf("sta: gate %d input %d never driven", g, in)
+				}
+				d := gate.Cell.Timing.Delay(nt.load, pt.slew)
+				if pt.at+d > at {
+					at = pt.at + d
+				}
+				_ = slew
+			}
+			r.AT[g] = at
+			r.Slew[g] = gate.Cell.Timing.SlewOut(t.timeNet(g, 0).load)
+		}
+		// Push across g's net to consumer pins.
+		nt := t.timeNet(g, r.Slew[g])
+		pins := t.SinkPins(g)
+		for i, p := range pins {
+			if p.Gate < 0 {
+				poAT[g] = r.AT[g] + nt.per[i].Delay
+				continue
+			}
+			pinAT[p.Gate][p.In] = pinT{at: r.AT[g] + nt.per[i].Delay, slew: nt.per[i].Slew}
+		}
+	}
+
+	// Circuit delay = max PO arrival.
+	r.Delay = math.Inf(-1)
+	for g, at := range poAT {
+		if at > r.Delay {
+			r.Delay = at
+			r.CritPO = g
+		}
+	}
+	if math.IsInf(r.Delay, -1) {
+		return nil, fmt.Errorf("sta: no primary outputs reached")
+	}
+	r.Target = target
+	if target <= 0 {
+		r.Target = r.Delay
+	}
+
+	// Backward pass: RAT at gate outputs.
+	for g := 0; g < n; g++ {
+		r.RAT[g] = math.Inf(1)
+	}
+	for g := n - 1; g >= 0; g-- {
+		nt := t.timeNet(g, r.Slew[g])
+		pins := t.SinkPins(g)
+		for i, p := range pins {
+			if p.Gate < 0 {
+				if v := r.Target - nt.per[i].Delay; v < r.RAT[g] {
+					r.RAT[g] = v
+				}
+				continue
+			}
+			consumer := t.C.Gates[p.Gate]
+			load := t.timeNet(p.Gate, 0).load
+			d := consumer.Cell.Timing.Delay(load, nt.per[i].Slew)
+			if v := r.RAT[p.Gate] - d - nt.per[i].Delay; v < r.RAT[g] {
+				r.RAT[g] = v
+			}
+		}
+		if math.IsInf(r.RAT[g], 1) {
+			// Dangling net (no sinks): unconstrained.
+			r.RAT[g] = r.Target
+		}
+	}
+	return r, nil
+}
+
+// PinRAT returns the required time at a specific sink pin of net g, derived
+// from a report: the consumer's output RAT minus its gate delay (or the
+// target for PO pins). The flows use this to build per-net routing problems.
+func (t *Timer) PinRAT(rep *Report, g int, p Pin) float64 {
+	if p.Gate < 0 {
+		return rep.Target
+	}
+	consumer := t.C.Gates[p.Gate]
+	load := t.timeNet(p.Gate, 0).load
+	d := consumer.Cell.Timing.Delay(load, t.Tech.NominalSlew)
+	return rep.RAT[p.Gate] - d
+}

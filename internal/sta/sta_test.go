@@ -1,0 +1,231 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"merlin/internal/circuit"
+	"merlin/internal/geom"
+	"merlin/internal/place"
+	"merlin/internal/rc"
+	"merlin/internal/tree"
+
+	mnet "merlin/internal/net"
+)
+
+func testTech() rc.Technology {
+	t := rc.Default035()
+	t.LoadQuantum = 0
+	return t
+}
+
+// chainCircuit builds PI -> INV -> INV(PO) by hand.
+func chainCircuit(t *testing.T) (*circuit.Circuit, *place.Placement) {
+	t.Helper()
+	cells := circuit.CellSet()
+	inv := &cells[circuit.CellInv]
+	c := &circuit.Circuit{
+		Name:   "chain",
+		NumPIs: 1,
+		Gates: []*circuit.Gate{
+			{ID: 0},
+			{ID: 1, Cell: inv, Fanins: []int{0}},
+			{ID: 2, Cell: inv, Fanins: []int{1}, IsPO: true},
+		},
+	}
+	c.Fanouts = [][]int{{1}, {2}, {}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pl := &place.Placement{
+		Circuit: c,
+		Pos:     []geom.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}, {X: 2000, Y: 0}},
+		Die:     geom.Rect{Max: geom.Point{X: 2000, Y: 0}},
+	}
+	return c, pl
+}
+
+// TestChainHandComputed verifies arrival propagation against manual Elmore +
+// 4-parameter arithmetic on a two-inverter chain.
+func TestChainHandComputed(t *testing.T) {
+	tech := testTech()
+	c, pl := chainCircuit(t)
+	timer := New(c, pl, tech)
+	rep, err := timer.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inv := c.Gates[1].Cell.Timing
+	pi := timer.DriverOf(0)
+
+	// Net 0: PI at (0,0) to gate 1 pin: wire 1000λ + pin cap.
+	load0 := tech.WireC(1000) + inv.Cin
+	slew0 := pi.SlewOut(load0)
+	el0 := tech.WireElmore(1000, inv.Cin)
+	at1in := el0 // PI AT = 0
+	slew1in := tech.WireSlewOut(slew0, el0)
+
+	// Gate 1 drives net 1: wire 1000λ + gate 2 pin.
+	load1 := tech.WireC(1000) + inv.Cin
+	at1 := at1in + inv.Delay(load1, slew1in)
+	if math.Abs(rep.AT[1]-at1) > 1e-9 {
+		t.Fatalf("AT[1] = %.9f, want %.9f", rep.AT[1], at1)
+	}
+
+	el1 := tech.WireElmore(1000, inv.Cin)
+	slew1 := inv.SlewOut(load1)
+	at2in := at1 + el1
+	slew2in := tech.WireSlewOut(slew1, el1)
+	// Gate 2 drives only its PO pin (co-located, zero wire).
+	load2 := POLoad
+	at2 := at2in + inv.Delay(load2, slew2in)
+	if math.Abs(rep.AT[2]-at2) > 1e-9 {
+		t.Fatalf("AT[2] = %.9f, want %.9f", rep.AT[2], at2)
+	}
+	if math.Abs(rep.Delay-at2) > 1e-9 {
+		t.Fatalf("Delay = %.9f, want %.9f", rep.Delay, at2)
+	}
+	// RAT anchored at the delay ⇒ the critical path has zero slack.
+	if math.Abs(rep.Slack(2)) > 1e-9 {
+		t.Fatalf("PO slack = %.9f, want 0", rep.Slack(2))
+	}
+	if rep.Slack(1) < -1e-9 || rep.Slack(0+1) > 1e-6 {
+		t.Fatalf("chain gate slack = %.9f, want ~0", rep.Slack(1))
+	}
+}
+
+// TestRATConsistency: slack must be non-negative everywhere when RATs anchor
+// at the computed delay, and PinRAT must never exceed the consumer's RAT.
+func TestRATConsistency(t *testing.T) {
+	tech := testTech()
+	c, err := circuit.Generate(circuit.Profile{Name: "r", NumPIs: 6, NumGate: 60, NumPOs: 4, Locality: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(c, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := New(c, pl, tech)
+	rep, err := timer.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := math.Inf(1)
+	for g := range c.Gates {
+		if s := rep.Slack(g); s < worst {
+			worst = s
+		}
+	}
+	if worst < -1e-9 {
+		t.Fatalf("negative slack %.9f with RAT anchored at the delay", worst)
+	}
+	if math.Abs(worst) > 1e-6 {
+		t.Fatalf("critical path slack should be ~0, got %.9f", worst)
+	}
+}
+
+// TestRoutedTreeChangesTiming: attaching an explicit routing tree must be
+// honored by the timer (match a hand-computed detour delay).
+func TestRoutedTreeChangesTiming(t *testing.T) {
+	tech := testTech()
+	c, pl := chainCircuit(t)
+	timer := New(c, pl, tech)
+	base, err := timer.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route net 1 (gate1 → gate2) with a huge detour.
+	pins := timer.SinkPins(1)
+	if len(pins) != 1 {
+		t.Fatalf("net 1 pins = %d", len(pins))
+	}
+	nt := &mnet.Net{
+		Name:   "n1",
+		Source: pl.Pos[1],
+		Sinks:  []mnet.Sink{{Pos: pl.Pos[2], Load: timer.PinLoad(pins[0]), Req: 100}},
+	}
+	tr := tree.New(nt)
+	way := tr.Root.AddChild(&tree.Node{Kind: tree.KindSteiner, Pos: geom.Point{X: 1000, Y: 50000}})
+	way.AddChild(&tree.Node{Kind: tree.KindSink, Pos: pl.Pos[2], SinkIdx: 0})
+	timer.Trees[1] = tr
+	detoured, err := timer.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detoured.Delay <= base.Delay {
+		t.Fatalf("100kλ detour did not slow the circuit: %.4f vs %.4f", detoured.Delay, base.Delay)
+	}
+}
+
+func TestSinkPinsAndLoads(t *testing.T) {
+	c, pl := chainCircuit(t)
+	timer := New(c, pl, testTech())
+	pins2 := timer.SinkPins(2)
+	if len(pins2) != 1 || pins2[0].Gate != -1 {
+		t.Fatalf("PO net pins = %+v", pins2)
+	}
+	if timer.PinLoad(pins2[0]) != POLoad {
+		t.Fatal("PO pin load wrong")
+	}
+	if timer.PinPos(pins2[0], 2) != pl.Pos[2] {
+		t.Fatal("PO pin must sit at its driver")
+	}
+	pins0 := timer.SinkPins(0)
+	if len(pins0) != 1 || pins0[0].Gate != 1 || pins0[0].In != 0 {
+		t.Fatalf("net 0 pins = %+v", pins0)
+	}
+}
+
+// TestMultiPinConsumer: a gate consuming the same net on two inputs yields
+// two sink pins.
+func TestMultiPinConsumer(t *testing.T) {
+	cells := circuit.CellSet()
+	nand := &cells[circuit.CellNand2]
+	c := &circuit.Circuit{
+		Name:   "mp",
+		NumPIs: 1,
+		Gates: []*circuit.Gate{
+			{ID: 0},
+			{ID: 1, Cell: nand, Fanins: []int{0, 0}, IsPO: true},
+		},
+	}
+	c.Fanouts = [][]int{{1, 1}, {}}
+	pl := &place.Placement{Circuit: c, Pos: []geom.Point{{X: 0, Y: 0}, {X: 1000, Y: 0}}}
+	timer := New(c, pl, testTech())
+	pins := timer.SinkPins(0)
+	if len(pins) != 2 {
+		t.Fatalf("want 2 pins for a double-connected net, got %d", len(pins))
+	}
+	if _, err := timer.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPinRATNeverExceedsTarget: every sink pin's required time is bounded by
+// the timing target, and matches RAT-minus-gate-delay for gate pins.
+func TestPinRATNeverExceedsTarget(t *testing.T) {
+	tech := testTech()
+	c, err := circuit.Generate(circuit.Profile{Name: "p", NumPIs: 5, NumGate: 40, NumPOs: 3, Locality: 0.5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(c, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	timer := New(c, pl, tech)
+	rep, err := timer.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range c.Gates {
+		for _, pin := range timer.SinkPins(g) {
+			rat := timer.PinRAT(rep, g, pin)
+			if rat > rep.Target+1e-9 {
+				t.Fatalf("net %d pin %+v: RAT %.4f beyond target %.4f", g, pin, rat, rep.Target)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package tree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"merlin/internal/geom"
+)
+
+// WriteDot renders the tree in Graphviz DOT form: sources as house shapes,
+// buffers as triangles labeled with their cell, Steiner points as dots,
+// sinks as boxes annotated with load and required time. Edge labels carry
+// rectilinear wire lengths. The output is deterministic, so golden tests
+// can pin it.
+func (t *Tree) WriteDot(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph tree {\n")
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	id := 0
+	var rec func(n *Node, parent int, parentPos geom.Point) error
+	rec = func(n *Node, parent int, parentPos geom.Point) error {
+		me := id
+		id++
+		switch n.Kind {
+		case KindSource:
+			fmt.Fprintf(&b, "  n%d [shape=house, label=\"src\\n%s\"];\n", me, pointLabel(n.Pos))
+		case KindBuffer:
+			fmt.Fprintf(&b, "  n%d [shape=triangle, label=\"%s\\n%s\"];\n", me, n.Buffer.Name, pointLabel(n.Pos))
+		case KindSteiner:
+			fmt.Fprintf(&b, "  n%d [shape=point];\n", me)
+		case KindSink:
+			s := t.Net.Sinks[n.SinkIdx]
+			fmt.Fprintf(&b, "  n%d [shape=box, label=\"s%d\\n%.3gpF r=%.3g\"];\n", me, n.SinkIdx+1, s.Load, s.Req)
+		}
+		if parent >= 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%dλ\", fontsize=8];\n", parent, me, geom.Dist(parentPos, n.Pos))
+		}
+		for _, c := range n.Children {
+			if err := rec(c, me, n.Pos); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if t.Root != nil {
+		if err := rec(t.Root, -1, t.Root.Pos); err != nil {
+			return err
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pointLabel(p geom.Point) string { return p.String() }
