@@ -1,0 +1,32 @@
+# Tier-1 verify is: make build test vet race
+# (build + full test suite, static analysis, and the race detector over the
+# concurrent packages — the service worker pool and the one-engine-per-
+# goroutine core contract).
+
+GO ?= go
+
+.PHONY: all build test race vet verify bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent surface: the merlind service (worker pool,
+# caches, graceful shutdown, 32-way concurrent e2e) and the core engine's
+# one-engine-per-goroutine contract. Full-repo -race is accurate too but
+# slow; these packages are where concurrency actually lives.
+race:
+	$(GO) test -race ./internal/service/... ./cmd/merlind/...
+	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
+
+vet:
+	$(GO) vet ./...
+
+verify: build test vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -6,6 +6,7 @@
 package merlin_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"merlin/internal/net"
 	"merlin/internal/order"
 	"merlin/internal/ptree"
+	"merlin/internal/service"
 	"merlin/internal/vangin"
 )
 
@@ -251,6 +253,43 @@ func BenchmarkVanGinneken(b *testing.B) {
 		if _, _, err := vangin.Insert(routed, prof.Lib, prof.Tech, vg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceBatch is the service throughput baseline for later scaling
+// PRs: N synthetic nets pushed through the worker pool as one batch, at
+// several pool sizes. The result cache is disabled so every iteration pays
+// full compute; per-worker engine reuse stays on (it is part of the design
+// being measured). nets/s is the headline metric. Throughput only scales
+// with the pool size when GOMAXPROCS > 1; on a single-CPU box all pool
+// sizes report the same rate.
+func BenchmarkServiceBatch(b *testing.B) {
+	const numNets = 16
+	prof := flows.ProfileFor(6)
+	nets := make([]*net.Net, numNets)
+	for i := range nets {
+		nets[i] = net.Generate(net.DefaultGenSpec(6, int64(1000+i)), prof.Tech, prof.Lib.Driver)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := service.New(service.Config{
+				Workers:    workers,
+				QueueDepth: numNets,
+				CacheSize:  -1, // measure compute, not cache
+			})
+			defer s.Shutdown(context.Background())
+			breq := &service.BatchRequest{Nets: nets}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, item := range s.Batch(context.Background(), breq) {
+					if item.Error != "" {
+						b.Fatalf("net %d: %s", item.Index, item.Error)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(numNets)*float64(b.N)/b.Elapsed().Seconds(), "nets/s")
+		})
 	}
 }
 

@@ -37,11 +37,50 @@ func main() {
 	flag.Parse()
 	if err := run(*netPath, *gen, *seed, *write, *flowName, *alpha, *cands, *budget, *reqFloor, *dump, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "merlin:", err)
+		fmt.Fprintln(os.Stderr, "run 'merlin -h' for usage")
 		os.Exit(1)
 	}
 }
 
+// parseFlowFlag resolves -flow, naming the flag in the error so a typo'd
+// invocation says exactly which knob to fix.
+func parseFlowFlag(name string) (flows.ID, error) {
+	switch name {
+	case "I", "1":
+		return flows.FlowI, nil
+	case "II", "2":
+		return flows.FlowII, nil
+	case "III", "3":
+		return flows.FlowIII, nil
+	}
+	return 0, fmt.Errorf("invalid value %q for -flow: want I, II or III", name)
+}
+
+// validateGoalFlags checks -budget and -reqfloor, which select the two
+// mutually exclusive goal variants of §III.1.
+func validateGoalFlags(budget, reqFloor float64) error {
+	if budget < 0 {
+		return fmt.Errorf("invalid value %g for -budget: the buffer area budget must be positive (λ²)", budget)
+	}
+	if reqFloor < 0 {
+		return fmt.Errorf("invalid value %g for -reqfloor: the required-time floor must be positive (ns)", reqFloor)
+	}
+	if budget > 0 && reqFloor > 0 {
+		return fmt.Errorf("-budget and -reqfloor are mutually exclusive: -budget selects variant I (max required time under an area budget), -reqfloor selects variant II (min area over a required-time floor)")
+	}
+	return nil
+}
+
 func run(netPath string, gen int, seed int64, write, flowName string, alpha, cands int, budget, reqFloor float64, dump bool, dot string) error {
+	// Validate flags before any work so a bad invocation fails fast with
+	// the offending flag named.
+	fl, err := parseFlowFlag(flowName)
+	if err != nil {
+		return err
+	}
+	if err := validateGoalFlags(budget, reqFloor); err != nil {
+		return err
+	}
 	var nt *net.Net
 	switch {
 	case gen > 0:
@@ -84,20 +123,8 @@ func run(netPath string, gen int, seed int64, write, flowName string, alpha, can
 	if budget > 0 {
 		prof.Core.Goal = core.Goal{Mode: core.GoalMaxReq, AreaBudget: budget}
 	}
-	if reqFloor != 0 {
+	if reqFloor > 0 {
 		prof.Core.Goal = core.Goal{Mode: core.GoalMinArea, ReqFloor: reqFloor}
-	}
-
-	var fl flows.ID
-	switch flowName {
-	case "I", "1":
-		fl = flows.FlowI
-	case "II", "2":
-		fl = flows.FlowII
-	case "III", "3":
-		fl = flows.FlowIII
-	default:
-		return fmt.Errorf("unknown flow %q (want I, II or III)", flowName)
 	}
 
 	res, err := flows.Run(fl, nt, prof)

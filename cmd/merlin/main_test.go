@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"merlin/internal/flows"
+)
+
+// Flag validation must name the offending flag so the error is actionable
+// (the satellite fix for bare-string errors).
+func TestParseFlowFlag(t *testing.T) {
+	for name, want := range map[string]flows.ID{
+		"I": flows.FlowI, "1": flows.FlowI,
+		"II": flows.FlowII, "2": flows.FlowII,
+		"III": flows.FlowIII, "3": flows.FlowIII,
+	} {
+		got, err := parseFlowFlag(name)
+		if err != nil || got != want {
+			t.Errorf("parseFlowFlag(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "IV", "iii", "merlin"} {
+		_, err := parseFlowFlag(bad)
+		if err == nil {
+			t.Errorf("parseFlowFlag(%q) accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-flow") {
+			t.Errorf("parseFlowFlag(%q) error does not name -flow: %v", bad, err)
+		}
+	}
+}
+
+func TestValidateGoalFlags(t *testing.T) {
+	cases := []struct {
+		budget, reqFloor float64
+		wantFlag         string // "" means valid
+	}{
+		{0, 0, ""},
+		{1000, 0, ""},
+		{0, 4.5, ""},
+		{-1, 0, "-budget"},
+		{0, -0.5, "-reqfloor"},
+		{1000, 4.5, "-budget"}, // mutual exclusion names both; -budget suffices
+	}
+	for _, tc := range cases {
+		err := validateGoalFlags(tc.budget, tc.reqFloor)
+		if tc.wantFlag == "" {
+			if err != nil {
+				t.Errorf("validateGoalFlags(%g, %g) = %v, want nil", tc.budget, tc.reqFloor, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("validateGoalFlags(%g, %g) accepted", tc.budget, tc.reqFloor)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantFlag) {
+			t.Errorf("validateGoalFlags(%g, %g) error does not name %s: %v", tc.budget, tc.reqFloor, tc.wantFlag, err)
+		}
+	}
+}
+
+// The run() entry itself must refuse a bad flag combination before doing any
+// routing work.
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("", 5, 1, "", "IV", 0, 0, 0, 0, false, ""); err == nil || !strings.Contains(err.Error(), "-flow") {
+		t.Errorf("run with bad -flow: %v", err)
+	}
+	if err := run("", 5, 1, "", "III", 0, 0, -10, 0, false, ""); err == nil || !strings.Contains(err.Error(), "-budget") {
+		t.Errorf("run with bad -budget: %v", err)
+	}
+	if err := run("", 5, 1, "", "III", 0, 0, 0, -1, false, ""); err == nil || !strings.Contains(err.Error(), "-reqfloor") {
+		t.Errorf("run with bad -reqfloor: %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+// Command merlind serves the repository's buffered-routing flows over
+// HTTP/JSON: a bounded job queue feeding a worker pool with per-worker
+// engine reuse, an LRU result cache, and a metrics endpoint. See the
+// "Running merlind" section of README.md for the API.
+//
+// Usage:
+//
+//	merlind [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	        [-timeout 60s] [-maxsinks 64]
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops accepting,
+// in-flight requests drain (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	stdnet "net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"merlin/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
+		cache    = flag.Int("cache", 0, "result cache entries (0 = 256, negative disables)")
+		timeout  = flag.Duration("timeout", 0, "default per-request compute timeout (0 = 60s)")
+		maxSinks = flag.Int("maxsinks", 0, "reject nets with more sinks (0 = 64, negative disables)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "merlind:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks int, drain time.Duration) error {
+	srv := service.New(service.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheSize:      cache,
+		DefaultTimeout: timeout,
+		MaxSinks:       maxSinks,
+	})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Bind before logging so "-addr :0" reports the real port (tests and
+	// supervisors parse this line).
+	log.Printf("merlind: listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- hs.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	log.Printf("merlind: draining (budget %v)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Stop the listener first so no new requests arrive, then drain the
+	// pool; hs.Shutdown itself waits for in-flight handlers, which in turn
+	// wait on their jobs.
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("pool shutdown: %w", err)
+	}
+	log.Printf("merlind: drained cleanly")
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"syscall"
+	"testing"
+	"time"
+
+	"merlin/internal/flows"
+	"merlin/internal/net"
+	"merlin/internal/service"
+)
+
+// TestSIGTERMDrainsInFlight is the daemon-level graceful-shutdown check: it
+// builds and starts merlind, puts a request in flight, sends SIGTERM, and
+// requires that the request still completes and the process exits cleanly.
+func TestSIGTERMDrainsInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	bin := filepath.Join(t.TempDir(), "merlind")
+	if out, err := exec.Command("go", "build", "-o", bin, "merlin/cmd/merlind").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first log line reports the bound address.
+	sc := bufio.NewScanner(stderr)
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var base string
+	for sc.Scan() {
+		if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("never saw the listening line (scan err: %v)", sc.Err())
+	}
+	go func() { // keep draining stderr so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+
+	// A net big enough that the request is still running when the signal
+	// lands a moment later.
+	prof := flows.ProfileFor(14)
+	nt := net.Generate(net.DefaultGenSpec(14, 3), prof.Tech, prof.Lib.Driver)
+	body, _ := json.Marshal(&service.RouteRequest{Net: nt})
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/route", "application/json", bytes.NewReader(body))
+		done <- result{resp, err}
+	}()
+
+	time.Sleep(150 * time.Millisecond) // let the POST reach a worker
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across SIGTERM: %v", r.err)
+	}
+	defer r.resp.Body.Close()
+	if r.resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request: status %d", r.resp.StatusCode)
+	}
+	var rr service.RouteResponse
+	if err := json.NewDecoder(r.resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Tree == nil {
+		t.Fatal("drained response carries no tree")
+	}
+
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("merlind exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("merlind did not exit within 30s of SIGTERM")
+	}
+	if err := verifyDown(base); err == nil {
+		t.Fatal("server still answering after exit")
+	}
+}
+
+func verifyDown(base string) error {
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return fmt.Errorf("got status %d", resp.StatusCode)
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"merlin/internal/buflib"
 	"merlin/internal/curve"
@@ -179,6 +181,16 @@ func (en *Engine) newRef(r ref) *ref {
 
 // NewEngine prepares an engine. The candidate set is deduplicated and the
 // source position appended if missing.
+//
+// Concurrency contract: an Engine is NOT safe for concurrent use. Construct,
+// Merlin and Extract all mutate the engine's memo tables (memo, gammaMemo,
+// starMemo) and stats counters without synchronization — the memos are the
+// whole point of engine reuse (§III.4's OVERLAP optimization), and guarding
+// them would serialize the DP hot loops. Use one Engine per goroutine. The
+// inputs (net, candidates, library, technology) are only read, so any number
+// of engines may share them; this is what a worker pool relies on when each
+// worker owns its engines over shared immutable nets and libraries (see
+// internal/service and TestEnginePerGoroutine).
 func NewEngine(n *net.Net, cands []geom.Point, lib *buflib.Library, tech rc.Technology, opts Options) *Engine {
 	en := &Engine{
 		Net: n, Lib: lib, Tech: tech, Opts: opts.withDefaults(),
@@ -263,8 +275,48 @@ type item struct {
 
 // Construct runs BUBBLE_CONSTRUCT (Fig. 9) for the given sink order and
 // returns the final per-candidate solution curves Γ(n, χ0, R=n−1, ·).
+// gcBoost reference-counts the GC-target override so concurrent
+// constructions (one engine per goroutine, e.g. the merlind worker pool)
+// compose: debug.SetGCPercent is process-global, and a naive
+// save/set/restore pair interleaves badly — a worker finishing early would
+// restore the default mid-flight under another worker, and the last one out
+// could "restore" the boosted value permanently. The first construction in
+// sets the boost, the last one out restores what it found.
+var gcBoost struct {
+	mu    sync.Mutex
+	depth int
+	prev  int
+}
+
+func acquireGCBoost() {
+	gcBoost.mu.Lock()
+	defer gcBoost.mu.Unlock()
+	if gcBoost.depth == 0 {
+		gcBoost.prev = debug.SetGCPercent(300)
+	}
+	gcBoost.depth++
+}
+
+func releaseGCBoost() {
+	gcBoost.mu.Lock()
+	defer gcBoost.mu.Unlock()
+	gcBoost.depth--
+	if gcBoost.depth == 0 {
+		debug.SetGCPercent(gcBoost.prev)
+	}
+}
+
 // Use Extract / BuildTree on the result.
 func (en *Engine) Construct(ord order.Order) ([]*curve.Curve, error) {
+	return en.ConstructCtx(context.Background(), ord)
+}
+
+// ConstructCtx is Construct with cooperative cancellation: the DP checks
+// ctx between (L, E, R) sub-problems — the outer loops of Fig. 9 — and
+// returns an error wrapping ctx.Err() once the context is done. Sub-problems
+// are the natural check granularity: each is itself a bounded *PTREE call,
+// so cancellation latency is one sub-problem, not one whole construction.
+func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.Curve, error) {
 	n := len(ord)
 	if n == 0 || n != en.Net.N() || !ord.Valid() {
 		return nil, fmt.Errorf("core: order must be a permutation of the %d sinks", en.Net.N())
@@ -273,7 +325,8 @@ func (en *Engine) Construct(ord order.Order) ([]*curve.Curve, error) {
 	// default GC target the collector spends more time re-scanning it than
 	// the DP spends computing. Trade heap headroom for throughput while the
 	// construction runs.
-	defer debug.SetGCPercent(debug.SetGCPercent(300))
+	acquireGCBoost()
+	defer releaseGCBoost()
 	k := len(en.Cands)
 
 	// Γ(L, E, R, ·); indexed [L-1][E][R]. Entries stay nil when the span
@@ -325,6 +378,9 @@ func (en *Engine) Construct(ord order.Order) ([]*curve.Curve, error) {
 				continue
 			}
 			for R := n - 1; R >= span-1; R-- {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("core: construct canceled at L=%d: %w", L, err)
+				}
 				if !SpanFits(n, R, L, E) {
 					continue
 				}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"merlin/internal/buflib"
+	"merlin/internal/geom"
+	"merlin/internal/rc"
+)
+
+// The engine's concurrency contract (see NewEngine): an Engine is single-
+// goroutine, but any number of engines may run concurrently over shared
+// read-only inputs. TestEnginePerGoroutine exercises exactly the usage the
+// service worker pool depends on — run it under -race (`make race`, part of
+// the documented tier-1 verify) to check the contract, not just assert it.
+func TestEnginePerGoroutine(t *testing.T) {
+	tech := rc.Default035()
+	lib := buflib.Default035().Small(5)
+	nt := smokeNet(7, 17)
+	cands := geom.ReducedHanan(nt.Terminals(), 10)
+	opts := DefaultOptions()
+	opts.Alpha = 4
+	opts.MaxSols = 4
+	opts.MaxLoops = 2
+
+	const goroutines = 8
+	results := make([]float64, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// One engine per goroutine; net/candidates/library/technology
+			// are shared and only read.
+			en := NewEngine(nt, cands, lib, tech, opts)
+			res, err := en.Merlin(nil)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			results[g] = res.ReqAtDriverInput
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	// The search is deterministic, so concurrent engines must agree exactly;
+	// divergence would mean shared state leaked between them.
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Errorf("goroutine %d found req %.9f, goroutine 0 found %.9f", g, results[g], results[0])
+		}
+	}
+}

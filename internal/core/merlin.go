@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,8 +47,25 @@ func Merlin(n *net.Net, cands []geom.Point, lib *buflib.Library, tech rc.Technol
 	return en.Merlin(initOrder)
 }
 
+// MerlinCtx is Merlin with cooperative cancellation; see Engine.MerlinCtx.
+func MerlinCtx(ctx context.Context, n *net.Net, cands []geom.Point, lib *buflib.Library, tech rc.Technology, opts Options, initOrder order.Order) (*Result, error) {
+	en := NewEngine(n, cands, lib, tech, opts)
+	return en.MerlinCtx(ctx, initOrder)
+}
+
 // Merlin runs the outer search on an existing engine (reusing its memo).
+//
+// Like every Engine method, Merlin is not safe for concurrent use: it mutates
+// the engine's memo tables. One engine per goroutine; see NewEngine.
 func (en *Engine) Merlin(initOrder order.Order) (*Result, error) {
+	return en.MerlinCtx(context.Background(), initOrder)
+}
+
+// MerlinCtx runs the outer search with cooperative cancellation: ctx is
+// checked between outer-loop iterations (and, via ConstructCtx, between the
+// DP's sub-problems), so a deadline or cancel aborts the search within one
+// sub-problem. The returned error wraps ctx.Err() on cancellation.
+func (en *Engine) MerlinCtx(ctx context.Context, initOrder order.Order) (*Result, error) {
 	start := time.Now()
 	if err := en.Net.Validate(); err != nil {
 		return nil, err
@@ -63,8 +81,11 @@ func (en *Engine) Merlin(initOrder order.Order) (*Result, error) {
 	res := &Result{}
 	bestCost := costInf
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: merlin canceled after %d loops: %w", res.Loops, err)
+		}
 		res.Loops++
-		final, err := en.Construct(pi)
+		final, err := en.ConstructCtx(ctx, pi)
 		if err != nil {
 			return nil, err
 		}

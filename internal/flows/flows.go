@@ -12,11 +12,13 @@
 package flows
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"merlin/internal/buflib"
 	"merlin/internal/core"
+	"merlin/internal/curve"
 	"merlin/internal/geom"
 	"merlin/internal/lttree"
 	"merlin/internal/net"
@@ -127,17 +129,28 @@ type Result struct {
 	Runtime time.Duration
 	// Loops is MERLIN's iteration count (Flow III only).
 	Loops int
+	// Frontier is the final non-inferior curve at the source (Flow III
+	// only), for area/required-time trade-off exploration.
+	Frontier *curve.Curve
 }
 
 // Run dispatches a flow.
 func Run(f ID, n *net.Net, p Profile) (Result, error) {
+	return RunCtx(context.Background(), f, n, p)
+}
+
+// RunCtx dispatches a flow with cooperative cancellation. Flow III threads
+// ctx into MERLIN's search loops; Flows I and II are monolithic DPs that
+// check ctx only between their phases. This is the entry point the service
+// worker pool calls with per-request deadlines.
+func RunCtx(ctx context.Context, f ID, n *net.Net, p Profile) (Result, error) {
 	switch f {
 	case FlowI:
 		return RunFlowI(n, p)
 	case FlowII:
-		return RunFlowII(n, p)
+		return runFlowII(ctx, n, p)
 	case FlowIII:
-		return RunFlowIII(n, p)
+		return RunFlowIIIOn(ctx, NewEngineIII(n, p), p)
 	}
 	return Result{}, fmt.Errorf("flows: unknown flow %d", int(f))
 }
@@ -168,13 +181,23 @@ func RunFlowI(n *net.Net, p Profile) (Result, error) {
 // RunFlowII is Setup II: whole-net PTREE routing with the TSP order, then
 // van Ginneken buffer insertion on the fixed tree.
 func RunFlowII(n *net.Net, p Profile) (Result, error) {
+	return runFlowII(context.Background(), n, p)
+}
+
+func runFlowII(ctx context.Context, n *net.Net, p Profile) (Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("flow II: %w", err)
+	}
 	cands := geom.ReducedHanan(n.Terminals(), p.MaxCands)
 	solver := ptree.NewSolver(n, cands, p.Tech, p.PTree)
 	ord := order.TSP(n.Source, n.SinkPoints())
 	routed, _, err := solver.Solve(ord)
 	if err != nil {
 		return Result{}, fmt.Errorf("flow II: routing: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("flow II: canceled between routing and insertion: %w", err)
 	}
 	vg := p.VG
 	if vg.SegLen == 0 {
@@ -195,13 +218,40 @@ func RunFlowII(n *net.Net, p Profile) (Result, error) {
 
 // RunFlowIII is Setup III: MERLIN with the TSP initial order.
 func RunFlowIII(n *net.Net, p Profile) (Result, error) {
-	start := time.Now()
+	return RunFlowIIIOn(context.Background(), NewEngineIII(n, p), p)
+}
+
+// NewEngineIII builds the Flow III engine for (n, p): reduced-Hanan
+// candidates at the profile's budget over the profile's library, technology
+// and core options. The engine identity is fully determined by the net and
+// these profile knobs, so services may cache engines keyed by them and reuse
+// the DP memos across requests on the same net (§III.4's OVERLAP reuse);
+// see RunFlowIIIOn for which knobs may vary between reuses.
+func NewEngineIII(n *net.Net, p Profile) *core.Engine {
 	cands := geom.ReducedHanan(n.Terminals(), p.MaxCands)
-	res, err := core.Merlin(n, cands, p.Lib, p.Tech, p.Core, nil)
+	return core.NewEngine(n, cands, p.Lib, p.Tech, p.Core)
+}
+
+// RunFlowIIIOn runs MERLIN on a prepared (possibly reused) engine. Only the
+// extraction goal and the outer-loop bound are re-read from p — they do not
+// affect the memoized solution curves, so an engine built once per net can
+// serve repeated requests that explore different area budgets or required-
+// time floors. The remaining p.Core knobs must match the ones the engine was
+// built with; callers reusing engines key their cache accordingly.
+func RunFlowIIIOn(ctx context.Context, en *core.Engine, p Profile) (Result, error) {
+	start := time.Now()
+	en.Opts.Goal = p.Core.Goal
+	en.Opts.MaxLoops = p.Core.MaxLoops
+	res, err := en.MerlinCtx(ctx, nil)
 	if err != nil {
 		return Result{}, fmt.Errorf("flow III: %w", err)
 	}
-	return finish(FlowIII, n, p, res.Tree, start, res.Loops)
+	out, err := finish(FlowIII, en.Net, p, res.Tree, start, res.Loops)
+	if err != nil {
+		return Result{}, err
+	}
+	out.Frontier = res.Frontier
+	return out, nil
 }
 
 func finish(f ID, n *net.Net, p Profile, t *tree.Tree, start time.Time, loops int) (Result, error) {

@@ -1,0 +1,65 @@
+package net
+
+import (
+	"encoding/binary"
+	"math"
+
+	"merlin/internal/rc"
+)
+
+// This file defines the canonical binary encoding used to fingerprint
+// problem instances. Two nets with equal canonical encodings are the same
+// routing problem: every algorithm in this repository is a deterministic
+// function of (net, candidate set, library, technology, options), so a hash
+// of the canonical bytes is a sound cache key for engines and results (the
+// service's LRU caches are keyed this way). The net's Name is deliberately
+// excluded — renaming a net does not change its solution.
+//
+// Floats are encoded by their IEEE-754 bit pattern, not a decimal rendering:
+// the encoding must distinguish every value the timing model can distinguish,
+// and must never distinguish values the model cannot.
+
+func appendI64(dst []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, uint64(v))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendCanonical appends the canonical encoding of the net to dst and
+// returns the extended slice: source position, driver gate, then every sink
+// in index order. Name is excluded (see above).
+func (n *Net) AppendCanonical(dst []byte) []byte {
+	dst = appendI64(dst, n.Source.X)
+	dst = appendI64(dst, n.Source.Y)
+	dst = AppendCanonicalGate(dst, n.Driver)
+	dst = appendI64(dst, int64(len(n.Sinks)))
+	for _, s := range n.Sinks {
+		dst = appendI64(dst, s.Pos.X)
+		dst = appendI64(dst, s.Pos.Y)
+		dst = appendF64(dst, s.Load)
+		dst = appendF64(dst, s.Req)
+	}
+	return dst
+}
+
+// AppendCanonicalGate appends the canonical encoding of a gate model. The
+// name is included: an empty driver name means "use the library default",
+// which changes the solution.
+func AppendCanonicalGate(dst []byte, g rc.Gate) []byte {
+	dst = appendI64(dst, int64(len(g.Name)))
+	dst = append(dst, g.Name...)
+	for _, v := range []float64{g.K0, g.K1, g.K2, g.K3, g.S0, g.S1, g.Cin, g.Area} {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+// AppendCanonicalTech appends the canonical encoding of a technology.
+func AppendCanonicalTech(dst []byte, t rc.Technology) []byte {
+	for _, v := range []float64{t.RPerLambda, t.CPerLambda, t.NominalSlew, t.SlewPerDelay, t.LoadQuantum} {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}

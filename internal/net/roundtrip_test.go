@@ -1,0 +1,159 @@
+package net
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"merlin/internal/buflib"
+	"merlin/internal/geom"
+	"merlin/internal/rc"
+)
+
+// TestJSONRoundTripDeepEqual pins the wire format the service ships nets
+// over: serialize → parse → deep-equal of the whole net (driver included),
+// with awkward float values that a lossy encoding would corrupt. The older
+// TestJSONRoundTrip covers the error paths.
+func TestJSONRoundTripDeepEqual(t *testing.T) {
+	lib := buflib.Default035()
+	nets := []*Net{
+		Generate(DefaultGenSpec(12, 7), rc.Default035(), lib.Driver),
+		{
+			Name:   "hand-built",
+			Source: geom.Point{X: -3, Y: 9},
+			Driver: lib.Buffers[0],
+			Sinks: []Sink{
+				// Values chosen to break decimal shortcuts: a subnormal-ish
+				// load, a req with no short decimal form, negative coords.
+				{Pos: geom.Point{X: 1 << 40, Y: -(1 << 40)}, Load: 0.1 + 0.2, Req: 1.0 / 3.0},
+				{Pos: geom.Point{X: 0, Y: 0}, Load: 5e-17, Req: 7.125},
+			},
+		},
+	}
+	for _, n := range nets {
+		var buf bytes.Buffer
+		if err := n.Write(&buf); err != nil {
+			t.Fatalf("%s: write: %v", n.Name, err)
+		}
+		back, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: read back: %v", n.Name, err)
+		}
+		if !reflect.DeepEqual(n, back) {
+			t.Errorf("%s: round trip changed the net:\nbefore: %+v\nafter:  %+v", n.Name, n, back)
+		}
+	}
+}
+
+// golden is the serialized form of a two-sink net; a change here is a wire
+// format break that every /v1/route client sees, so it must be deliberate.
+const golden = `{
+  "name": "golden",
+  "source": {
+    "X": 0,
+    "Y": 0
+  },
+  "driver": {
+    "Name": "",
+    "K0": 0,
+    "K1": 0,
+    "K2": 0,
+    "K3": 0,
+    "S0": 0,
+    "S1": 0,
+    "Cin": 0,
+    "Area": 0
+  },
+  "sinks": [
+    {
+      "pos": {
+        "X": 100,
+        "Y": 200
+      },
+      "load": 0.01,
+      "req": 5
+    },
+    {
+      "pos": {
+        "X": 300,
+        "Y": 50
+      },
+      "load": 0.025,
+      "req": 4.5
+    }
+  ]
+}
+`
+
+func TestJSONGolden(t *testing.T) {
+	n := &Net{
+		Name: "golden",
+		Sinks: []Sink{
+			{Pos: geom.Point{X: 100, Y: 200}, Load: 0.01, Req: 5},
+			{Pos: geom.Point{X: 300, Y: 50}, Load: 0.025, Req: 4.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := n.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Errorf("wire format drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.String(), golden)
+	}
+	back, err := Read(strings.NewReader(golden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, back) {
+		t.Errorf("golden did not parse back to the original: %+v", back)
+	}
+}
+
+// TestCanonicalEncoding pins the fingerprint semantics the service caches
+// rely on: renaming never changes the encoding; any numeric change does.
+func TestCanonicalEncoding(t *testing.T) {
+	base := Generate(DefaultGenSpec(6, 3), rc.Default035(), buflib.Default035().Driver)
+	enc := func(n *Net) string { return string(n.AppendCanonical(nil)) }
+
+	renamed := *base
+	renamed.Name = "something-else"
+	if enc(base) != enc(&renamed) {
+		t.Error("renaming the net changed its canonical encoding")
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(n *Net)
+	}{
+		{"source moved", func(n *Net) { n.Source.X++ }},
+		{"sink moved", func(n *Net) { n.Sinks[2].Pos.Y-- }},
+		{"load nudged one ULP", func(n *Net) { n.Sinks[0].Load = nextAfter(n.Sinks[0].Load) }},
+		{"req nudged one ULP", func(n *Net) { n.Sinks[4].Req = nextAfter(n.Sinks[4].Req) }},
+		{"driver swapped", func(n *Net) { n.Driver = buflib.Default035().Buffers[3] }},
+		{"sink dropped", func(n *Net) { n.Sinks = n.Sinks[:len(n.Sinks)-1] }},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			mutated := *base
+			mutated.Sinks = append([]Sink(nil), base.Sinks...)
+			m.mut(&mutated)
+			if enc(base) == enc(&mutated) {
+				t.Error("mutation did not change the canonical encoding")
+			}
+		})
+	}
+
+	// Sink order is semantic (it is the DP's interval axis), so swapping two
+	// sinks must change the encoding even though the multiset is equal.
+	swapped := *base
+	swapped.Sinks = append([]Sink(nil), base.Sinks...)
+	swapped.Sinks[0], swapped.Sinks[1] = swapped.Sinks[1], swapped.Sinks[0]
+	if enc(base) == enc(&swapped) {
+		t.Error("sink swap did not change the canonical encoding")
+	}
+}
+
+func nextAfter(v float64) float64 {
+	return v * (1 + 1e-15) // guaranteed to differ in the low mantissa bits
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a small mutex-guarded LRU used for both the shared result
+// cache (responses keyed by request fingerprint) and the per-worker engine
+// caches (engines keyed by problem fingerprint). Per-worker instances are
+// never contended; the shared instance is touched once per request, far off
+// the DP hot path, so a plain mutex is the right tool. A capacity <= 0
+// disables the cache: Get always misses and Put drops.
+type lruCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and promotes it to most recently used.
+func (c *lruCache) Get(key string) (any, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// once the capacity is exceeded.
+func (c *lruCache) Put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; a 64-sink net with knobs is ~10 KB, so
+// 8 MiB leaves three orders of magnitude for large batches.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/route   one net → tree + timing + frontier
+//	POST /v1/batch   many nets → collected (input order) or streamed NDJSON
+//	GET  /v1/healthz liveness; 503 once draining
+//	GET  /v1/stats   metrics snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/route", s.handleRoute)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.route")
+	var req RouteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.Route(r.Context(), &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.batch")
+	var req BatchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Nets) == 0 {
+		writeError(w, fmt.Errorf("%w: empty nets", ErrBadRequest))
+		return
+	}
+	if req.Stream {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		enc := json.NewEncoder(w)
+		for item := range s.BatchStream(r.Context(), &req) {
+			if err := enc.Encode(item); err != nil {
+				return // client gone; BatchStream drains via ctx
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: s.Batch(r.Context(), &req)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.healthz")
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.stats")
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is never seen but 499-style closure
+		// beats pretending the server failed.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

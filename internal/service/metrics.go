@@ -1,0 +1,110 @@
+package service
+
+import "sync"
+
+// metrics is a lightweight stdlib-only registry: named monotone counters
+// plus fixed-bucket latency histograms. Everything behind one mutex —
+// observations happen once per request, not inside the DP, so contention is
+// negligible even at high worker counts, and a single lock keeps Snapshot
+// trivially consistent.
+type metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+	hists    map[string]*histogram
+}
+
+// latencyBoundsMS are the histogram bucket upper bounds in milliseconds; an
+// implicit +Inf bucket follows the last bound. The spread covers cache hits
+// (sub-millisecond) through large-net MERLIN runs (tens of seconds).
+var latencyBoundsMS = []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+type histogram struct {
+	buckets  []uint64 // len(latencyBoundsMS)+1, last is +Inf
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{counters: make(map[string]uint64), hists: make(map[string]*histogram)}
+}
+
+func (m *metrics) inc(name string) { m.add(name, 1) }
+
+func (m *metrics) add(name string, delta uint64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+func (m *metrics) get(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// observe records one latency sample (milliseconds) in the named histogram.
+func (m *metrics) observe(name string, ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &histogram{buckets: make([]uint64, len(latencyBoundsMS)+1)}
+		m.hists[name] = h
+	}
+	i := 0
+	for i < len(latencyBoundsMS) && ms > latencyBoundsMS[i] {
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += ms
+	if h.count == 1 || ms < h.min {
+		h.min = ms
+	}
+	if ms > h.max {
+		h.max = ms
+	}
+}
+
+// Bucket is one cumulative histogram bucket: Count samples were <= LE ms.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramStats is the wire form of one latency histogram.
+type HistogramStats struct {
+	Count   uint64   `json:"count"`
+	SumMS   float64  `json:"sum_ms"`
+	MinMS   float64  `json:"min_ms"`
+	MaxMS   float64  `json:"max_ms"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// snapshot returns a consistent copy of all counters and histograms.
+func (m *metrics) snapshot() (map[string]uint64, map[string]HistogramStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counters := make(map[string]uint64, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]HistogramStats, len(m.hists))
+	for k, h := range m.hists {
+		hs := HistogramStats{Count: h.count, SumMS: h.sum, MinMS: h.min, MaxMS: h.max}
+		cum := uint64(0)
+		for i, b := range h.buckets {
+			cum += b
+			le := 0.0
+			if i < len(latencyBoundsMS) {
+				le = latencyBoundsMS[i]
+			} else {
+				le = -1 // +Inf bucket; JSON has no Inf, -1 marks it
+			}
+			hs.Buckets = append(hs.Buckets, Bucket{LE: le, Count: cum})
+		}
+		hists[k] = hs
+	}
+	return counters, hists
+}

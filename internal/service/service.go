@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"merlin/internal/core"
+	"merlin/internal/flows"
+)
+
+// Config sizes the service. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the pool size; default GOMAXPROCS. Each worker runs one
+	// job at a time on its own engines, so the pool as a whole respects
+	// core.Engine's one-engine-per-goroutine contract.
+	Workers int
+	// QueueDepth bounds the job queue; default 4×Workers. A full queue
+	// rejects with ErrQueueFull (HTTP 429) instead of buffering unboundedly.
+	QueueDepth int
+	// CacheSize is the result-cache capacity in entries; default 256,
+	// negative disables caching.
+	CacheSize int
+	// EngineCacheSize is each worker's engine LRU capacity; default 4,
+	// negative disables engine reuse.
+	EngineCacheSize int
+	// DefaultTimeout caps a request's compute time when the request does
+	// not set timeout_ms; default 60s, negative disables the default cap.
+	DefaultTimeout time.Duration
+	// MaxSinks rejects nets larger than this (the DPs are cubic and worse);
+	// default 64, negative disables the limit.
+	MaxSinks int
+
+	// onJobStart, when set (tests only), runs as a worker picks up a job —
+	// it lets shutdown and queue tests pin a job as provably in flight.
+	onJobStart func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.EngineCacheSize == 0 {
+		c.EngineCacheSize = 4
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxSinks == 0 {
+		c.MaxSinks = 64
+	}
+	return c
+}
+
+// Service errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the bounded job queue rejected the request (429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown means the server is draining and accepts no new work (503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+type jobResult struct {
+	resp *RouteResponse
+	err  error
+}
+
+type job struct {
+	ctx  context.Context
+	req  *RouteRequest
+	prof flows.Profile
+	flow flows.ID
+	key  string // result-cache key
+	eng  string // engine-cache key
+	done chan jobResult // buffered(1): the worker never blocks on delivery
+}
+
+// Server is the routing service: a bounded job queue feeding a fixed worker
+// pool, fronted by a result cache. Create with New, serve via Handler or the
+// in-process Route/Batch, stop with Shutdown.
+type Server struct {
+	cfg   Config
+	jobs  chan *job
+	cache *lruCache
+	met   *metrics
+	start time.Time
+
+	mu        sync.Mutex // guards draining against concurrent submits
+	draining  bool
+	inflight  sync.WaitGroup // accepted jobs not yet finished
+	workers   sync.WaitGroup
+	closeJobs sync.Once
+}
+
+// New starts a server's worker pool and returns it ready to serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		jobs:  make(chan *job, cfg.QueueDepth),
+		cache: newLRU(cfg.CacheSize),
+		met:   newMetrics(),
+		start: time.Now(),
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Route runs one request through the cache and the pool. It blocks until the
+// result is ready, the context is done, or the request is rejected
+// (ErrBadRequest / ErrQueueFull / ErrShuttingDown).
+func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, error) {
+	prof, fl, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	} else if s.cfg.DefaultTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		defer cancel()
+	}
+	key, eng := cacheKeys(req, fl, prof)
+	if !req.NoCache {
+		if v, ok := s.cache.Get(key); ok {
+			s.met.inc("cache.hits")
+			hit := *v.(*RouteResponse) // shallow copy; cached responses are immutable
+			hit.Cached = true
+			return &hit, nil
+		}
+		s.met.inc("cache.misses")
+	}
+	j := &job{ctx: ctx, req: req, prof: prof, flow: fl, key: key, eng: eng, done: make(chan jobResult, 1)}
+	if err := s.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case r := <-j.done:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if !req.NoCache {
+			s.cache.Put(key, r.resp)
+		}
+		return r.resp, nil
+	case <-ctx.Done():
+		// The worker sees the same ctx and aborts between DP sub-problems;
+		// done is buffered so its late delivery is dropped harmlessly.
+		return nil, fmt.Errorf("service: request aborted: %w", ctx.Err())
+	}
+}
+
+// Batch runs every net of the request through the pool concurrently and
+// returns per-net outcomes in input order.
+func (s *Server) Batch(ctx context.Context, breq *BatchRequest) []BatchItem {
+	items := make([]BatchItem, len(breq.Nets))
+	var wg sync.WaitGroup
+	for i, n := range breq.Nets {
+		wg.Add(1)
+		go func(i int, rr *RouteRequest) {
+			defer wg.Done()
+			items[i] = s.routeItem(ctx, i, rr)
+		}(i, breq.routeRequest(n))
+	}
+	wg.Wait()
+	return items
+}
+
+// BatchStream is Batch in completion order: items are sent on the returned
+// channel as each net finishes, and the channel closes when all are done.
+func (s *Server) BatchStream(ctx context.Context, breq *BatchRequest) <-chan BatchItem {
+	out := make(chan BatchItem)
+	var wg sync.WaitGroup
+	for i, n := range breq.Nets {
+		wg.Add(1)
+		go func(i int, rr *RouteRequest) {
+			defer wg.Done()
+			out <- s.routeItem(ctx, i, rr)
+		}(i, breq.routeRequest(n))
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+func (s *Server) routeItem(ctx context.Context, i int, rr *RouteRequest) BatchItem {
+	resp, err := s.Route(ctx, rr)
+	if err != nil {
+		return BatchItem{Index: i, Error: err.Error()}
+	}
+	return BatchItem{Index: i, Result: resp}
+}
+
+// submit enqueues a job unless the server is draining or the queue is full.
+func (s *Server) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return ErrShuttingDown
+	}
+	s.inflight.Add(1)
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		s.inflight.Done()
+		s.met.inc("jobs.rejected")
+		return ErrQueueFull
+	}
+}
+
+// Shutdown drains the service: new submissions are refused immediately,
+// queued and running jobs run to completion (or their own deadlines), then
+// the workers exit. It returns ctx.Err() if the drain outlives ctx; calling
+// it again is safe and waits for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.closeJobs.Do(func() { close(s.jobs) })
+	s.workers.Wait()
+	return nil
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// worker is one pool goroutine: it owns its engine cache outright, which is
+// what makes engine reuse race-free (engines are not goroutine-safe; see
+// core.NewEngine).
+func (s *Server) worker() {
+	defer s.workers.Done()
+	engines := newLRU(s.cfg.EngineCacheSize)
+	for j := range s.jobs {
+		s.runJob(j, engines)
+		s.inflight.Done()
+	}
+}
+
+func (s *Server) runJob(j *job, engines *lruCache) {
+	if s.cfg.onJobStart != nil {
+		s.cfg.onJobStart()
+	}
+	if err := j.ctx.Err(); err != nil {
+		// Canceled while queued: don't burn a worker on a dead request.
+		s.met.inc("jobs.canceled")
+		j.done <- jobResult{err: err}
+		return
+	}
+	start := time.Now()
+	var res flows.Result
+	var err error
+	if j.flow == flows.FlowIII {
+		var en *core.Engine
+		if v, ok := engines.Get(j.eng); ok {
+			en = v.(*core.Engine)
+			s.met.inc("engine_cache.hits")
+		} else {
+			en = flows.NewEngineIII(j.req.Net, j.prof)
+			s.met.inc("engine_cache.misses")
+			engines.Put(j.eng, en)
+		}
+		res, err = flows.RunFlowIIIOn(j.ctx, en, j.prof)
+	} else {
+		res, err = flows.RunCtx(j.ctx, j.flow, j.req.Net, j.prof)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.inc("jobs.canceled")
+		} else {
+			s.met.inc("jobs.failed")
+		}
+		j.done <- jobResult{err: err}
+		return
+	}
+	s.met.inc("jobs.completed")
+	s.met.observe("flow_"+flowLabel(j.flow), float64(time.Since(start).Microseconds())/1000)
+	j.done <- jobResult{resp: buildResponse(j.req, j.flow, res)}
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Workers       int                       `json:"workers"`
+	QueueDepth    int                       `json:"queue_depth"`
+	QueueCapacity int                       `json:"queue_capacity"`
+	Draining      bool                      `json:"draining"`
+	Counters      map[string]uint64         `json:"counters"`
+	Cache         CacheStats                `json:"cache"`
+	LatencyMS     map[string]HistogramStats `json:"latency_ms"`
+}
+
+// CacheStats summarizes the result cache.
+type CacheStats struct {
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the registry.
+func (s *Server) Stats() Stats {
+	counters, hists := s.met.snapshot()
+	cs := CacheStats{
+		Size:     s.cache.Len(),
+		Capacity: s.cfg.CacheSize,
+		Hits:     counters["cache.hits"],
+		Misses:   counters["cache.misses"],
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		cs.HitRate = float64(cs.Hits) / float64(total)
+	}
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.jobs),
+		QueueCapacity: s.cfg.QueueDepth,
+		Draining:      s.Draining(),
+		Counters:      counters,
+		Cache:         cs,
+		LatencyMS:     hists,
+	}
+}
