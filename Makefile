@@ -1,11 +1,13 @@
-# Tier-1 verify is: make build test vet race
-# (build + full test suite, static analysis, and the race detector over the
-# concurrent packages — the service worker pool and the one-engine-per-
-# goroutine core contract).
+# Tier-1 verify is: make build test vet race chaos fuzz
+# (build + full test suite, static analysis, the race detector over the
+# concurrent packages, the fault-injection chaos storm, and short runs of the
+# fuzz targets).
 
 GO ?= go
+# How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet verify bench
+.PHONY: all build test race vet chaos fuzz verify bench
 
 all: build
 
@@ -18,15 +20,29 @@ test:
 # Race-detect the concurrent surface: the merlind service (worker pool,
 # caches, graceful shutdown, 32-way concurrent e2e) and the core engine's
 # one-engine-per-goroutine contract. Full-repo -race is accurate too but
-# slow; these packages are where concurrency actually lives.
+# slow; these packages are where concurrency actually lives. TestChaos is
+# skipped here because the chaos target runs it on its own.
 race:
-	$(GO) test -race ./internal/service/... ./cmd/merlind/...
+	$(GO) test -race -skip TestChaos ./internal/service/... ./cmd/merlind/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
+
+# The fault-injection storm: 240 concurrent good/bad/huge requests with
+# panics and errors injected into the worker pool and the DP, under the race
+# detector, with healthz probed throughout. See internal/service/chaos_test.go.
+chaos:
+	$(GO) test -race -run TestChaos ./internal/service/
+
+# Short fuzz runs over the request-ingestion surface: arbitrary JSON through
+# net.Read/Validate, and the canonical fingerprint's determinism/totality.
+# `go test -fuzz` accepts one target per invocation, hence two runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzNetRead -fuzztime $(FUZZTIME) ./internal/net/
+	$(GO) test -run '^$$' -fuzz FuzzCanon -fuzztime $(FUZZTIME) ./internal/net/
 
 vet:
 	$(GO) vet ./...
 
-verify: build test vet race
+verify: build test vet race chaos fuzz
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

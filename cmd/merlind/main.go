@@ -7,9 +7,14 @@
 //
 //	merlind [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 60s] [-maxsinks 64]
+//	merlind -smoke [-target http://host:port]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops accepting,
 // in-flight requests drain (bounded by -drain), then the process exits.
+//
+// -smoke runs an end-to-end health check through pkg/client instead of
+// serving: against -target when given, otherwise against an in-process
+// server, exiting 0 on success and 1 on any failure.
 package main
 
 import (
@@ -37,9 +42,17 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "default per-request compute timeout (0 = 60s)")
 		maxSinks = flag.Int("maxsinks", 0, "reject nets with more sinks (0 = 64, negative disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		smoke    = flag.Bool("smoke", false, "run an end-to-end smoke test instead of serving")
+		target   = flag.String("target", "", "server URL for -smoke (empty = in-process server)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain); err != nil {
+	var err error
+	if *smoke {
+		err = runSmoke(*target, 5*time.Minute)
+	} else {
+		err = run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlind:", err)
 		os.Exit(1)
 	}

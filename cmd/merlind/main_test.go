@@ -109,6 +109,14 @@ func TestSIGTERMDrainsInFlight(t *testing.T) {
 	}
 }
 
+// TestSmokeMode runs the -smoke path (in-process server variant) directly:
+// it must complete every probe and return nil.
+func TestSmokeMode(t *testing.T) {
+	if err := runSmoke("", 2*time.Minute); err != nil {
+		t.Fatalf("smoke mode failed: %v", err)
+	}
+}
+
 func verifyDown(base string) error {
 	resp, err := http.Get(base + "/v1/healthz")
 	if err != nil {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	stdnet "net"
+	"net/http"
+	"time"
+
+	"merlin/internal/flows"
+	"merlin/internal/net"
+	"merlin/internal/service"
+	"merlin/pkg/client"
+)
+
+// runSmoke drives a quick end-to-end check through pkg/client: healthz, a
+// route, a repeat route that must hit the result cache, a collected batch, a
+// deliberately over-budget request that must classify as budget_exceeded,
+// and a stats read. With an empty target it stands up an in-process server
+// on a loopback port and smokes that, so `merlind -smoke` is a self-
+// contained health check of the build.
+func runSmoke(target string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	if target == "" {
+		srv := service.New(service.Config{})
+		defer srv.Shutdown(context.Background())
+		ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		defer hs.Close()
+		target = "http://" + ln.Addr().String()
+		log.Printf("merlind: smoke against in-process server at %s", target)
+	} else {
+		log.Printf("merlind: smoke against %s", target)
+	}
+
+	cl := client.New(target,
+		client.WithMaxRetries(4),
+		client.WithBackoff(100*time.Millisecond, 2*time.Second))
+
+	if err := cl.Healthz(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	prof := flows.ProfileFor(8)
+	nt := net.Generate(net.DefaultGenSpec(8, 1), prof.Tech, prof.Lib.Driver)
+	first, err := cl.Route(ctx, &service.RouteRequest{Net: nt})
+	if err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	if first.Tree == nil {
+		return fmt.Errorf("route: 200 with no tree")
+	}
+	log.Printf("merlind: smoke route ok (req@driver %.4f ns, wirelength %d)",
+		first.ReqAtDriverInputNS, first.Wirelength)
+
+	again, err := cl.Route(ctx, &service.RouteRequest{Net: nt})
+	if err != nil {
+		return fmt.Errorf("repeat route: %w", err)
+	}
+	if !again.Cached {
+		return fmt.Errorf("repeat route not served from cache")
+	}
+	if again.ReqAtDriverInputNS != first.ReqAtDriverInputNS {
+		return fmt.Errorf("cached answer differs: %.9f vs %.9f",
+			again.ReqAtDriverInputNS, first.ReqAtDriverInputNS)
+	}
+
+	var nets []*net.Net
+	for seed := int64(2); seed <= 4; seed++ {
+		nets = append(nets, net.Generate(net.DefaultGenSpec(6, seed), prof.Tech, prof.Lib.Driver))
+	}
+	batch, err := cl.Batch(ctx, &service.BatchRequest{Nets: nets})
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	if len(batch.Results) != len(nets) {
+		return fmt.Errorf("batch: %d results for %d nets", len(batch.Results), len(nets))
+	}
+	for i, item := range batch.Results {
+		if item.Error != "" {
+			return fmt.Errorf("batch item %d: %s", i, item.Error)
+		}
+	}
+
+	// The error taxonomy must be live: an impossible budget has to come back
+	// as a structured 422, not a 500 or a hang.
+	_, err = cl.Route(ctx, &service.RouteRequest{
+		Net:    net.Generate(net.DefaultGenSpec(8, 5), prof.Tech, prof.Lib.Driver),
+		Budget: &service.Budget{MaxSolutions: 5},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "budget_exceeded" {
+		return fmt.Errorf("over-budget probe: want 422 budget_exceeded, got %v", err)
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	if stats.Cache.Hits < 1 {
+		return fmt.Errorf("stats: no cache hit recorded after repeat route")
+	}
+	log.Printf("merlind: smoke ok (%d jobs completed, %d cache hits)",
+		stats.Counters["jobs.completed"], stats.Cache.Hits)
+	return nil
+}

@@ -8,9 +8,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"merlin/internal/buflib"
 	"merlin/internal/curve"
+	"merlin/internal/faultinject"
 	"merlin/internal/geom"
 	"merlin/internal/net"
 	"merlin/internal/order"
@@ -82,6 +84,11 @@ type Options struct {
 	MaxLoops int
 	// Goal selects the extraction objective.
 	Goal Goal
+	// Budget bounds one search's resource usage (retained solutions, wall
+	// time); the zero value is unlimited. Exceeding it aborts with
+	// ErrBudgetExceeded. Like Goal and MaxLoops, Budget does not shape the
+	// memoized curves, so engines may be reused across budgets.
+	Budget Budget
 }
 
 // DefaultOptions returns a balanced configuration.
@@ -168,6 +175,11 @@ type Engine struct {
 	// stats
 	StarDPCalls int
 	MemoHits    int
+
+	// budget accounting (see robust.go); valid inside one budget window.
+	budgetActive bool
+	budgetUsed   int
+	budgetStart  time.Time
 }
 
 // newRef heap-allocates a ref. (A chunked arena was measurably faster but
@@ -316,7 +328,17 @@ func (en *Engine) Construct(ord order.Order) ([]*curve.Curve, error) {
 // returns an error wrapping ctx.Err() once the context is done. Sub-problems
 // are the natural check granularity: each is itself a bounded *PTREE call,
 // so cancellation latency is one sub-problem, not one whole construction.
-func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.Curve, error) {
+//
+// ConstructCtx is an engine boundary: panics from the DP internals
+// (including the invariant panics of group.go) are recovered and returned
+// as errors wrapping ErrInternal, and Opts.Budget is enforced at the same
+// sub-problem granularity as cancellation, returning ErrBudgetExceeded when
+// the retained-solution count or wall-time bound is crossed.
+func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) (final []*curve.Curve, err error) {
+	defer recoverToErr(&err)
+	if en.beginBudget() {
+		defer en.endBudget()
+	}
 	n := len(ord)
 	if n == 0 || n != en.Net.N() || !ord.Valid() {
 		return nil, fmt.Errorf("core: order must be a permutation of the %d sinks", en.Net.N())
@@ -356,6 +378,7 @@ func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.C
 			key := gammaKey(e, []int{sinkIdx})
 			if cached, ok := en.gammaMemo[key]; ok {
 				gamma[0][e][r] = cached
+				en.chargeSols(cached)
 				continue
 			}
 			cs := make([]*curve.Curve, k)
@@ -367,7 +390,11 @@ func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.C
 			}
 			gamma[0][e][r] = cs
 			en.gammaMemo[key] = cs
+			en.chargeSols(cs)
 		}
+	}
+	if err := en.checkBudget(); err != nil {
+		return nil, err
 	}
 
 	// CONSTRUCTION (lines 5–20).
@@ -381,6 +408,12 @@ func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.C
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("core: construct canceled at L=%d: %w", L, err)
 				}
+				if err := en.checkBudget(); err != nil {
+					return nil, err
+				}
+				if err := faultinject.Fire(faultinject.SiteCoreConstruct); err != nil {
+					return nil, fmt.Errorf("core: construct aborted at L=%d: %w", L, err)
+				}
 				if !SpanFits(n, R, L, E) {
 					continue
 				}
@@ -392,6 +425,7 @@ func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.C
 				key := gammaKey(E, Gids)
 				if cached, ok := en.gammaMemo[key]; ok {
 					gamma[L-1][E][R] = cached
+					en.chargeSols(cached)
 					continue
 				}
 				inG := make(map[int]bool, len(G))
@@ -462,12 +496,13 @@ func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) ([]*curve.C
 				if any {
 					gamma[L-1][E][R] = acc
 					en.gammaMemo[key] = acc
+					en.chargeSols(acc)
 				}
 			}
 		}
 	}
 
-	final := gamma[n-1][Chi0][n-1]
+	final = gamma[n-1][Chi0][n-1]
 	if final == nil {
 		return nil, fmt.Errorf("core: no solution constructed (n=%d, α=%d)", n, en.Opts.Alpha)
 	}

@@ -65,7 +65,17 @@ func (en *Engine) Merlin(initOrder order.Order) (*Result, error) {
 // checked between outer-loop iterations (and, via ConstructCtx, between the
 // DP's sub-problems), so a deadline or cancel aborts the search within one
 // sub-problem. The returned error wraps ctx.Err() on cancellation.
-func (en *Engine) MerlinCtx(ctx context.Context, initOrder order.Order) (*Result, error) {
+//
+// MerlinCtx is an engine boundary (see robust.go): internal panics anywhere
+// in the search — construction, extraction, tree rebuild — surface as
+// errors wrapping ErrInternal, and Opts.Budget spans the whole outer search
+// (every iteration draws on the same account), surfacing as
+// ErrBudgetExceeded.
+func (en *Engine) MerlinCtx(ctx context.Context, initOrder order.Order) (out *Result, err error) {
+	defer recoverToErr(&err)
+	if en.beginBudget() {
+		defer en.endBudget()
+	}
 	start := time.Now()
 	if err := en.Net.Validate(); err != nil {
 		return nil, err

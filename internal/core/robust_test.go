@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/buflib"
+	"merlin/internal/faultinject"
+	"merlin/internal/geom"
+	"merlin/internal/order"
+	"merlin/internal/rc"
+)
+
+func robustEngine(t *testing.T, sinks int, seed int64, budget Budget) *Engine {
+	t.Helper()
+	tech := rc.Default035()
+	lib := buflib.Default035().Small(5)
+	nt := smokeNet(sinks, seed)
+	cands := geom.ReducedHanan(nt.Terminals(), 10)
+	opts := DefaultOptions()
+	opts.Alpha = 4
+	opts.MaxSols = 4
+	opts.MaxLoops = 2
+	opts.Budget = budget
+	return NewEngine(nt, cands, lib, tech, opts)
+}
+
+// TestBudgetMaxSolutions: a tight solution budget aborts the search with
+// ErrBudgetExceeded, and the retained-solution count at abort is bounded —
+// within one sub-problem's worth of slack — which is what makes the budget a
+// real memory bound rather than advice.
+func TestBudgetMaxSolutions(t *testing.T) {
+	// Unbudgeted baseline: how many solutions a full run retains.
+	free := robustEngine(t, 12, 5, Budget{MaxSolutions: 1 << 30})
+	if _, err := free.Merlin(nil); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+	total := free.BudgetUsed()
+	if total == 0 {
+		t.Fatal("budget accounting recorded nothing on a full run")
+	}
+
+	const budget = 100
+	en := robustEngine(t, 12, 5, Budget{MaxSolutions: budget})
+	_, err := en.Merlin(nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// The abort must come within one check interval of the bound. The
+	// largest uncheck-able stretch is the initialization phase (all length-1
+	// sub-groups) plus one (L,E,R) sub-problem: ≤ (4·n + 1)·k·MaxSols
+	// retained solutions.
+	n, k := en.Net.N(), len(en.Cands)
+	slack := (4*n + 1) * k * en.Opts.MaxSols
+	if used := en.BudgetUsed(); used > budget+slack {
+		t.Errorf("aborted with %d solutions retained, want <= %d+%d", used, budget, slack)
+	}
+	if en.BudgetUsed() >= total {
+		t.Errorf("budgeted abort retained %d solutions, no fewer than the full run's %d", en.BudgetUsed(), total)
+	}
+}
+
+// TestBudgetWallTime: the wall-time budget surfaces as ErrBudgetExceeded
+// (422 at the service layer), not as a context deadline (504) — the two mean
+// different things to a client.
+func TestBudgetWallTime(t *testing.T) {
+	en := robustEngine(t, 12, 7, Budget{MaxWallTime: time.Nanosecond})
+	_, err := en.Merlin(nil)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Error("wall-time budget leaked a context deadline error")
+	}
+}
+
+// TestBudgetDoesNotChangeAnswer: a budget only aborts; a run that fits
+// produces exactly the unbudgeted answer.
+func TestBudgetDoesNotChangeAnswer(t *testing.T) {
+	free := robustEngine(t, 8, 3, Budget{})
+	want, err := free.Merlin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := robustEngine(t, 8, 3, Budget{MaxSolutions: 1 << 30, MaxWallTime: time.Hour})
+	got, err := budgeted.Merlin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ReqAtDriverInput != want.ReqAtDriverInput || got.Solution.Area != want.Solution.Area {
+		t.Errorf("budgeted answer (%.9f, %.2f) differs from unbudgeted (%.9f, %.2f)",
+			got.ReqAtDriverInput, got.Solution.Area, want.ReqAtDriverInput, want.Solution.Area)
+	}
+}
+
+// TestEngineReuseAfterBudgetAbort: an engine that hit its budget is not
+// poisoned — re-running the same engine without the budget succeeds and the
+// surviving memo entries (all complete by construction) are reused.
+func TestEngineReuseAfterBudgetAbort(t *testing.T) {
+	en := robustEngine(t, 10, 11, Budget{MaxSolutions: 100})
+	if _, err := en.Merlin(nil); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("first run err = %v, want ErrBudgetExceeded", err)
+	}
+	en.Opts.Budget = Budget{}
+	res, err := en.Merlin(nil)
+	if err != nil {
+		t.Fatalf("rerun on the same engine failed: %v", err)
+	}
+	fresh := robustEngine(t, 10, 11, Budget{})
+	want, err := fresh.Merlin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReqAtDriverInput != want.ReqAtDriverInput {
+		t.Errorf("rerun answer %.9f differs from fresh engine's %.9f", res.ReqAtDriverInput, want.ReqAtDriverInput)
+	}
+}
+
+// TestPanicContainedAtEngineBoundary: a panic deep in the DP (injected at
+// the construct site) comes back as an error wrapping ErrInternal with the
+// stack recorded, from both Construct and Merlin.
+func TestPanicContainedAtEngineBoundary(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.SiteCoreConstruct, faultinject.Fault{Mode: faultinject.ModePanic})
+
+	en := robustEngine(t, 8, 2, Budget{})
+	_, err := en.Merlin(nil)
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("Merlin err = %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "injected panic") {
+		t.Errorf("error does not carry the panic value: %v", err)
+	}
+	if !strings.Contains(err.Error(), "faultinject") {
+		t.Errorf("error does not carry a stack trace: %v", err)
+	}
+
+	en2 := robustEngine(t, 8, 2, Budget{})
+	ord := order.TSP(en2.Net.Source, en2.Net.SinkPoints())
+	if _, err := en2.Construct(ord); !errors.Is(err, ErrInternal) {
+		t.Fatalf("Construct err = %v, want ErrInternal", err)
+	}
+}
+
+// TestInjectedErrorPassesThrough: a ModeError injection is an ordinary
+// error, not an ErrInternal — the taxonomy stays honest.
+func TestInjectedErrorPassesThrough(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.SiteCoreConstruct, faultinject.Fault{Mode: faultinject.ModeError})
+	en := robustEngine(t, 8, 2, Budget{})
+	_, err := en.Merlin(nil)
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if errors.Is(err, ErrInternal) {
+		t.Error("plain injected error was misclassified as ErrInternal")
+	}
+}
+
+// TestEngineRecoversAfterPanic: after a contained panic the same engine can
+// serve the next request — the property that keeps a worker's engine pool
+// usable across one bad request (the service additionally evicts the engine,
+// but the core contract should not depend on that).
+func TestEngineRecoversAfterPanic(t *testing.T) {
+	en := robustEngine(t, 8, 9, Budget{})
+	faultinject.Arm(faultinject.SiteCoreConstruct, faultinject.Fault{Mode: faultinject.ModePanic})
+	_, err := en.Merlin(nil)
+	faultinject.Reset()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	res, err := en.Merlin(nil)
+	if err != nil {
+		t.Fatalf("engine unusable after contained panic: %v", err)
+	}
+	fresh := robustEngine(t, 8, 9, Budget{})
+	want, err := fresh.Merlin(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReqAtDriverInput != want.ReqAtDriverInput {
+		t.Errorf("post-panic answer %.9f differs from fresh engine's %.9f", res.ReqAtDriverInput, want.ReqAtDriverInput)
+	}
+}

@@ -1,0 +1,97 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoOp(t *testing.T) {
+	Reset()
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestArmError(t *testing.T) {
+	defer Reset()
+	Arm("x", Fault{Mode: ModeError})
+	if err := Fire("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if err := Fire("other"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	Disarm("x")
+	if err := Fire("x"); err != nil {
+		t.Fatalf("disarmed site fired: %v", err)
+	}
+	if enabled.Load() {
+		t.Error("enabled still set after last site disarmed")
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	defer Reset()
+	Arm("p", Fault{Mode: ModePanic})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Fire("p")
+}
+
+func TestArmDelay(t *testing.T) {
+	defer Reset()
+	Arm("d", Fault{Mode: ModeDelay, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Fire("d"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("delay fault slept %v, want >= 10ms", elapsed)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	defer Reset()
+	Seed(42)
+	Arm("p", Fault{Mode: ModeError, Prob: 0.5})
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Errorf("p=0.5 fired %d/1000 times", fired)
+	}
+}
+
+func TestSetSpec(t *testing.T) {
+	defer Reset()
+	if err := Set("a=panic@0.5, b=delay:25ms ,c=error"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if f := sites["a"]; f.Mode != ModePanic || f.Prob != 0.5 {
+		t.Errorf("site a = %+v", f)
+	}
+	if f := sites["b"]; f.Mode != ModeDelay || f.Delay != 25*time.Millisecond {
+		t.Errorf("site b = %+v", f)
+	}
+	if f := sites["c"]; f.Mode != ModeError {
+		t.Errorf("site c = %+v", f)
+	}
+}
+
+func TestSetSpecErrors(t *testing.T) {
+	defer Reset()
+	for _, spec := range []string{"nosite", "a=warp", "a=panic@2", "a=panic@0", "a=delay:xyz", "=panic"} {
+		if err := Set(spec); err == nil {
+			t.Errorf("Set(%q) accepted", spec)
+		}
+	}
+}

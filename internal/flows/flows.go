@@ -233,15 +233,20 @@ func NewEngineIII(n *net.Net, p Profile) *core.Engine {
 }
 
 // RunFlowIIIOn runs MERLIN on a prepared (possibly reused) engine. Only the
-// extraction goal and the outer-loop bound are re-read from p — they do not
-// affect the memoized solution curves, so an engine built once per net can
-// serve repeated requests that explore different area budgets or required-
-// time floors. The remaining p.Core knobs must match the ones the engine was
-// built with; callers reusing engines key their cache accordingly.
+// extraction goal, the outer-loop bound and the resource budget are re-read
+// from p — none of them affect the memoized solution curves, so an engine
+// built once per net can serve repeated requests that explore different area
+// budgets, required-time floors or per-request resource budgets. The
+// remaining p.Core knobs must match the ones the engine was built with;
+// callers reusing engines key their cache accordingly. A run that outgrows
+// p.Core.Budget returns an error wrapping core.ErrBudgetExceeded; an
+// internal panic is contained at the engine boundary and returns an error
+// wrapping core.ErrInternal.
 func RunFlowIIIOn(ctx context.Context, en *core.Engine, p Profile) (Result, error) {
 	start := time.Now()
 	en.Opts.Goal = p.Core.Goal
 	en.Opts.MaxLoops = p.Core.MaxLoops
+	en.Opts.Budget = p.Core.Budget
 	res, err := en.MerlinCtx(ctx, nil)
 	if err != nil {
 		return Result{}, fmt.Errorf("flow III: %w", err)

@@ -1,0 +1,89 @@
+package net
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"merlin/internal/geom"
+	"merlin/internal/rc"
+)
+
+// FuzzNetRead feeds arbitrary bytes through the JSON → Validate pipeline
+// that fronts every request the service accepts: it must never panic, and
+// any net it does accept must be safe to fingerprint and must satisfy the
+// invariants Validate promises the DPs (positive finite loads, finite
+// required times).
+func FuzzNetRead(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sinks":[]}`))
+	f.Add([]byte(`{"name":"t","source":{"x":0,"y":0},"sinks":[{"pos":{"x":1,"y":2},"load":0.01,"req":1.5}]}`))
+	f.Add([]byte(`{"sinks":[{"load":1e308,"req":-1e308}]}`))
+	f.Add([]byte(`{"sinks":[{"load":-1}]}`))
+	f.Add([]byte(`nonsense`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, s := range n.Sinks {
+			if !(s.Load > 0) || math.IsInf(s.Load, 0) {
+				t.Fatalf("Read accepted sink %d with load %g", i, s.Load)
+			}
+			if math.IsNaN(s.Req) || math.IsInf(s.Req, 0) {
+				t.Fatalf("Read accepted sink %d with req %g", i, s.Req)
+			}
+		}
+		// An accepted net must fingerprint without panicking, and the
+		// fingerprint must be a pure function of the net.
+		a := n.AppendCanonical(nil)
+		b := n.AppendCanonical(nil)
+		if !bytes.Equal(a, b) {
+			t.Fatal("canonical encoding of an accepted net is not deterministic")
+		}
+	})
+}
+
+// FuzzCanon hits AppendCanonical with raw field values — including the
+// NaN/Inf floats Validate rejects, because the encoder must be total over
+// anything the structs can hold, not just validated nets. The encoding must
+// be deterministic, name-independent, and injective on the fuzzed fields
+// (distinct loads at distinct bit patterns → distinct encodings).
+func FuzzCanon(f *testing.F) {
+	f.Add("a", int64(0), int64(0), int64(1), int64(2), 0.01, 1.5, "drv", 0.2)
+	f.Add("", int64(-5), int64(9), int64(0), int64(0), math.Inf(1), math.NaN(), "", 0.0)
+	f.Fuzz(func(t *testing.T, name string, sx, sy, px, py int64, load, req float64, gname string, k0 float64) {
+		n := &Net{
+			Name:   name,
+			Source: geom.Point{X: sx, Y: sy},
+			Driver: rc.Gate{Name: gname, K0: k0},
+			Sinks:  []Sink{{Pos: geom.Point{X: px, Y: py}, Load: load, Req: req}},
+		}
+		a := n.AppendCanonical(nil)
+		if b := n.AppendCanonical(nil); !bytes.Equal(a, b) {
+			t.Fatal("encoding not deterministic")
+		}
+		renamed := *n
+		renamed.Name = name + "x"
+		if !bytes.Equal(a, renamed.AppendCanonical(nil)) {
+			t.Fatal("encoding depends on the net name")
+		}
+		// Perturb one fuzzed field at a time by a different bit pattern; the
+		// encoding must change (it distinguishes everything the timing model
+		// can distinguish).
+		bumped := *n
+		bumped.Sinks = []Sink{n.Sinks[0]}
+		if flipped := math.Float64frombits(math.Float64bits(load) ^ 1); math.Float64bits(flipped) != math.Float64bits(load) {
+			bumped.Sinks[0].Load = flipped
+			if bytes.Equal(a, bumped.AppendCanonical(nil)) {
+				t.Fatalf("load bit-flip %g → %g did not change the encoding", load, flipped)
+			}
+		}
+		moved := *n
+		moved.Sinks = []Sink{n.Sinks[0]}
+		moved.Sinks[0].Pos.X = px + 1
+		if bytes.Equal(a, moved.AppendCanonical(nil)) {
+			t.Fatal("sink position change did not change the encoding")
+		}
+	})
+}

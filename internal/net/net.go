@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"merlin/internal/geom"
@@ -38,14 +39,19 @@ type Net struct {
 // N returns the number of sinks.
 func (n *Net) N() int { return len(n.Sinks) }
 
-// Validate checks the instance for basic sanity.
+// Validate checks the instance for basic sanity. NaN loads need an explicit
+// check: NaN compares false against everything, so `Load <= 0` alone would
+// wave it through into the DP where it poisons every pruning comparison.
 func (n *Net) Validate() error {
 	if len(n.Sinks) == 0 {
 		return fmt.Errorf("net %q: no sinks", n.Name)
 	}
 	for i, s := range n.Sinks {
-		if s.Load <= 0 {
-			return fmt.Errorf("net %q: sink %d has non-positive load %g", n.Name, i, s.Load)
+		if !(s.Load > 0) || math.IsInf(s.Load, 0) {
+			return fmt.Errorf("net %q: sink %d has non-positive or non-finite load %g", n.Name, i, s.Load)
+		}
+		if math.IsNaN(s.Req) || math.IsInf(s.Req, 0) {
+			return fmt.Errorf("net %q: sink %d has non-finite required time %g", n.Name, i, s.Req)
 		}
 	}
 	return nil

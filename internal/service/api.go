@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"merlin/internal/core"
 	"merlin/internal/flows"
@@ -50,6 +51,27 @@ type RouteRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache (read and write).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Budget bounds this request's compute resources; nil uses the server
+	// defaults. Exceeding a budget returns 422 (code "budget_exceeded").
+	Budget *Budget `json:"budget,omitempty"`
+}
+
+// Budget is the wire form of a per-request resource budget. It bounds
+// compute, not answers: a run that fits its budget returns exactly what an
+// unbudgeted run would, and a result served from the cache costs nothing and
+// is returned regardless of budget. Fields are clamped to the server's hard
+// cap (Config.MaxSolutionsCap).
+type Budget struct {
+	// MaxSolutions caps the DP's retained-solution count, its dominant
+	// memory term; 0 uses the server default (Config.DefaultMaxSolutions).
+	MaxSolutions int `json:"max_solutions,omitempty"`
+	// MaxSinks rejects nets with more sinks than this before any compute;
+	// 0 defers to the server-wide Config.MaxSinks.
+	MaxSinks int `json:"max_sinks,omitempty"`
+	// MaxWallMS caps the search's wall-clock time. Unlike timeout_ms it
+	// reports 422 budget_exceeded, not 504: "too big for its budget" rather
+	// than "client gave up".
+	MaxWallMS int64 `json:"max_wall_ms,omitempty"`
 }
 
 // RouteResponse is the body of a successful /v1/route reply.
@@ -102,6 +124,8 @@ type BatchRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	NoCache   bool  `json:"no_cache,omitempty"`
 	Stream    bool  `json:"stream,omitempty"`
+	// Budget applies per net, like TimeoutMS.
+	Budget *Budget `json:"budget,omitempty"`
 }
 
 // BatchItem is one per-net outcome; exactly one of Result and Error is set.
@@ -121,7 +145,7 @@ func (b *BatchRequest) routeRequest(n *net.Net) *RouteRequest {
 	return &RouteRequest{
 		Net: n, Flow: b.Flow, Alpha: b.Alpha, MaxCands: b.MaxCands,
 		AreaBudget: b.AreaBudget, ReqFloor: b.ReqFloor, MaxLoops: b.MaxLoops,
-		TimeoutMS: b.TimeoutMS, NoCache: b.NoCache,
+		TimeoutMS: b.TimeoutMS, NoCache: b.NoCache, Budget: b.Budget,
 	}
 }
 
@@ -194,7 +218,44 @@ func (s *Server) prepare(req *RouteRequest) (flows.Profile, flows.ID, error) {
 	if req.MaxLoops > 0 {
 		p.Core.MaxLoops = req.MaxLoops
 	}
+	b, err := s.resolveBudget(req)
+	if err != nil {
+		return flows.Profile{}, 0, err
+	}
+	p.Core.Budget = b
 	return p, fl, nil
+}
+
+// resolveBudget folds the request's budget (if any) over the server-wide
+// default and clamps the result to the hard cap, so one request can lower
+// its own bounds but never raise them past what the operator allows.
+// Exceeding a per-request sink budget is a budget error (422), while the
+// server-wide Config.MaxSinks stays a validation error (400): the former is
+// the client's own declared bound, the latter the server's contract.
+func (s *Server) resolveBudget(req *RouteRequest) (core.Budget, error) {
+	var b core.Budget
+	if s.cfg.DefaultMaxSolutions > 0 {
+		b.MaxSolutions = s.cfg.DefaultMaxSolutions
+	}
+	if rb := req.Budget; rb != nil {
+		if rb.MaxSolutions < 0 || rb.MaxSinks < 0 || rb.MaxWallMS < 0 {
+			return core.Budget{}, fmt.Errorf("%w: budget fields must be >= 0", ErrBadRequest)
+		}
+		if rb.MaxSinks > 0 && req.Net.N() > rb.MaxSinks {
+			return core.Budget{}, fmt.Errorf("%w: net has %d sinks, request budget allows %d",
+				core.ErrBudgetExceeded, req.Net.N(), rb.MaxSinks)
+		}
+		if rb.MaxSolutions > 0 {
+			b.MaxSolutions = rb.MaxSolutions
+		}
+		if rb.MaxWallMS > 0 {
+			b.MaxWallTime = time.Duration(rb.MaxWallMS) * time.Millisecond
+		}
+	}
+	if hard := s.cfg.MaxSolutionsCap; hard > 0 && (b.MaxSolutions == 0 || b.MaxSolutions > hard) {
+		b.MaxSolutions = hard
+	}
+	return b, nil
 }
 
 func appendKeyI64(dst []byte, v int64) []byte {

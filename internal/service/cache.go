@@ -63,6 +63,22 @@ func (c *lruCache) Put(key string, val any) {
 	}
 }
 
+// Delete removes the entry for key, if present. The worker guard uses it to
+// evict an engine whose last run panicked: the memo tables are written in
+// complete units so they are very likely intact, but an engine implicated in
+// an invariant violation is not worth reusing.
+func (c *lruCache) Delete(key string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.Remove(el)
+		delete(c.m, key)
+	}
+}
+
 // Len returns the current entry count.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

@@ -1,0 +1,241 @@
+// Chaos test: hammer a live server with a mix of good, malformed, oversized,
+// over-budget, and fault-injected requests — concurrently, with panics and
+// errors randomly injected into the worker pool and the core DP — and
+// require that the server never goes down: healthz answers throughout, every
+// response is well-formed JSON with a documented status, and the workers are
+// all still serving once the storm passes.
+//
+// This file is package service_test (not service) because it drives the
+// server through pkg/client, which imports internal/service — an in-package
+// test file would create an import cycle.
+package service_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"merlin/internal/faultinject"
+	"merlin/internal/flows"
+	"merlin/internal/net"
+	"merlin/internal/service"
+	"merlin/pkg/client"
+)
+
+// goodSeeds is how many distinct good-request nets the storm cycles through
+// (each warmed into the result cache before the faults are armed).
+const goodSeeds = 8
+
+func chaosNet(sinks int, seed int64) *net.Net {
+	prof := flows.ProfileFor(sinks)
+	return net.Generate(net.DefaultGenSpec(sinks, seed), prof.Tech, prof.Lib.Driver)
+}
+
+// TestChaos is the fault-injection storm. Run it the way `make chaos` does:
+//
+//	go test -race -run TestChaos ./internal/service/
+func TestChaos(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Seed(42)
+
+	s := service.New(service.Config{Workers: 4, QueueDepth: 256})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the result cache for the good-request seeds so the storm's load
+	// stays bounded on small machines (this test must pass under -race on a
+	// single CPU, where one uncached route costs ~1s): most good requests
+	// then hit the cache, while the no_cache slice below still drives full
+	// jobs through the fault-injected worker path. Warming happens before
+	// the faults are armed — the warmup is scaffolding, not the storm.
+	for seed := int64(0); seed < goodSeeds; seed++ {
+		if _, err := s.Route(context.Background(), &service.RouteRequest{Net: chaosNet(6, seed), MaxLoops: 1}); err != nil {
+			t.Fatalf("cache warmup seed %d: %v", seed, err)
+		}
+	}
+
+	// Low-probability panics in the worker pool and errors inside the DP:
+	// every request that reaches a worker has a chance of drawing a
+	// contained 500.
+	faultinject.Arm(faultinject.SiteServiceWorker, faultinject.Fault{Mode: faultinject.ModePanic, Prob: 0.05})
+	faultinject.Arm(faultinject.SiteCoreConstruct, faultinject.Fault{Mode: faultinject.ModeError, Prob: 0.02})
+
+	cl := client.New(ts.URL,
+		client.WithMaxRetries(5),
+		client.WithBackoff(5*time.Millisecond, 100*time.Millisecond),
+		client.WithSeed(1))
+
+	// healthz prober: the server must stay live for the whole storm.
+	done := make(chan struct{})
+	probeErr := make(chan error, 1)
+	var probes int
+	go func() {
+		defer close(probeErr)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := cl.Healthz(ctx)
+			cancel()
+			if err != nil {
+				probeErr <- fmt.Errorf("healthz failed mid-storm after %d probes: %w", probes, err)
+				return
+			}
+			probes++
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	const requests = 240
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			switch i % 4 {
+			case 0, 1: // good: warmed seeds → cache hits; every 8th bypasses
+				// the cache so full jobs keep flowing through the workers
+				errs <- chaosGood(ctx, cl, int64(i%goodSeeds), i%16 == 0)
+			case 2: // bad or oversized: raw posts that must classify cleanly
+				if i%8 == 2 {
+					errs <- chaosOversized(ts.URL)
+				} else {
+					errs <- chaosBad(ts.URL)
+				}
+			case 3: // huge: frontier outgrows a tiny budget → 422
+				errs <- chaosHuge(ctx, cl, int64(1000+i%6))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(done)
+	if err, ok := <-probeErr; ok && err != nil {
+		t.Error(err)
+	}
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if probes == 0 {
+		t.Error("healthz prober never ran")
+	}
+
+	// Storm over: disarm everything and prove the pool still serves.
+	faultinject.Reset()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 8; i++ { // more probes than workers: all of them alive
+		if _, err := cl.Route(ctx, &service.RouteRequest{Net: chaosNet(6, int64(9000+i))}); err != nil {
+			t.Fatalf("worker pool did not survive the storm: %v", err)
+		}
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Counters["requests.route"]; got < requests/2 {
+		t.Errorf("requests.route = %d, want >= %d", got, requests/2)
+	}
+	t.Logf("chaos: %d requests, %d healthz probes, %d contained panics, %d failed jobs",
+		requests, probes, stats.Counters["panics"], stats.Counters["jobs.failed"])
+}
+
+// chaosGood routes a small net through the retrying client (one MERLIN loop
+// keeps each uncached job cheap under -race). Success is the norm; an
+// injected fault may surface as a documented 500 (internal) after retries
+// are spent on transient statuses, and a saturated queue as 429.
+func chaosGood(ctx context.Context, cl *client.Client, seed int64, noCache bool) error {
+	resp, err := cl.Route(ctx, &service.RouteRequest{Net: chaosNet(6, seed), MaxLoops: 1, NoCache: noCache})
+	if err != nil {
+		return allowCodes(err, "internal", "queue_full")
+	}
+	if resp.Tree == nil {
+		return fmt.Errorf("good request: 200 with no tree")
+	}
+	return nil
+}
+
+// chaosHuge routes a net whose DP cannot fit a 5-solution budget (the init
+// phase alone retains one solution per sink, so the abort lands at the first
+// checkpoint — cheap, which is what lets the storm run 60 of these); the
+// only acceptable outcomes are 422 budget_exceeded or an injected fault.
+func chaosHuge(ctx context.Context, cl *client.Client, seed int64) error {
+	_, err := cl.Route(ctx, &service.RouteRequest{
+		Net:    chaosNet(8, seed),
+		Budget: &service.Budget{MaxSolutions: 5},
+	})
+	if err == nil {
+		return fmt.Errorf("over-budget request unexpectedly succeeded")
+	}
+	return allowCodes(err, "budget_exceeded", "internal", "queue_full")
+}
+
+// chaosBad posts malformed JSON straight at the server: always a 400 with a
+// well-formed error body, never anything worse.
+func chaosBad(base string) error {
+	resp, err := http.Post(base+"/v1/route", "application/json", strings.NewReader(`{"net": [this is not json`))
+	if err != nil {
+		return fmt.Errorf("bad request transport: %w", err)
+	}
+	return wantErrorBody(resp, http.StatusBadRequest, "bad_request")
+}
+
+// chaosOversized posts a body over the server's byte cap: always 413.
+func chaosOversized(base string) error {
+	huge := `{"flow":"` + strings.Repeat("x", 9<<20) + `"}`
+	resp, err := http.Post(base+"/v1/route", "application/json", strings.NewReader(huge))
+	if err != nil {
+		// The server may slam the connection after MaxBytesReader trips
+		// mid-upload; either a clean 413 or a write-side transport error is
+		// an acceptable refusal.
+		return nil
+	}
+	return wantErrorBody(resp, http.StatusRequestEntityTooLarge, "payload_too_large")
+}
+
+func wantErrorBody(resp *http.Response, status int, code string) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		return fmt.Errorf("status = %d, want %d", resp.StatusCode, status)
+	}
+	var eb service.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		return fmt.Errorf("%d response body not JSON: %w", status, err)
+	}
+	if eb.Code != code {
+		return fmt.Errorf("code = %q, want %q", eb.Code, code)
+	}
+	return nil
+}
+
+// allowCodes accepts an *APIError whose code is in the allowed set (or a
+// retry-exhausted wrapper around one); anything else is a verdict the chaos
+// test does not document, and fails.
+func allowCodes(err error, allowed ...string) error {
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		return fmt.Errorf("undocumented failure shape: %w", err)
+	}
+	for _, c := range allowed {
+		if apiErr.Code == c {
+			return nil
+		}
+	}
+	return fmt.Errorf("undocumented error code %q (status %d): %w", apiErr.Code, apiErr.Status, err)
+}

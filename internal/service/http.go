@@ -5,11 +5,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"merlin/internal/core"
+	"merlin/internal/faultinject"
 )
 
 // maxBodyBytes bounds request bodies; a 64-sink net with knobs is ~10 KB, so
-// 8 MiB leaves three orders of magnitude for large batches.
+// 8 MiB leaves three orders of magnitude for large batches. Oversized bodies
+// get 413, not a generic 400.
 const maxBodyBytes = 8 << 20
 
 // Handler returns the service's HTTP API:
@@ -18,24 +27,84 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/batch   many nets → collected (input order) or streamed NDJSON
 //	GET  /v1/healthz liveness; 503 once draining
 //	GET  /v1/stats   metrics snapshot
+//
+// Every route is wrapped in a recover middleware: a handler panic fails that
+// request with a structured 500 (code "internal") and leaves the server up.
+// Error responses are JSON {"error": ..., "code": ...}; see writeError for
+// the code → status taxonomy.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	return s.recoverWare(mux)
+}
+
+// statusWriter remembers whether a response has started, so the recover
+// middleware knows if a structured 500 can still be written. It forwards
+// Flush for the NDJSON streaming path.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverWare contains handler panics: the panicking request gets a
+// structured 500 (if the response has not started), the stack is recorded,
+// the panics metric is bumped, and the server keeps serving. net/http's own
+// per-connection recover would otherwise just sever the connection with no
+// response. http.ErrAbortHandler is re-raised: it is the sanctioned
+// "client is gone, stop writing" signal, not a bug.
+func (s *Server) recoverWare(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.met.inc("panics")
+			log.Printf("service: contained handler panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				s.writeError(sw, fmt.Errorf("%w: contained handler panic: %v", ErrInternal, rec))
+			}
+		}()
+		if err := faultinject.Fire(faultinject.SiteServiceHandler); err != nil {
+			s.writeError(sw, err)
+			return
+		}
+		next.ServeHTTP(sw, r)
+	})
 }
 
 func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	s.met.inc("requests.route")
 	var req RouteRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.Route(r.Context(), &req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -44,11 +113,11 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.inc("requests.batch")
 	var req BatchRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Nets) == 0 {
-		writeError(w, fmt.Errorf("%w: empty nets", ErrBadRequest))
+		s.writeError(w, fmt.Errorf("%w: empty nets", ErrBadRequest))
 		return
 	}
 	if req.Stream {
@@ -83,33 +152,110 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		// An oversized body is its own failure class (413), not a malformed
+		// one (400): the client must shrink or split the request, not fix it.
+		var mbe *http.MaxBytesError
+		if !errors.As(err, &mbe) {
+			err = fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		s.writeError(w, err)
 		return false
 	}
 	return true
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// ErrorBody is the wire form of every error response: a human-readable
+// message plus a stable machine-readable code (see writeError for the
+// taxonomy). Clients branch on Code or the status, never on Error text.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// writeError maps the service error taxonomy onto HTTP:
+//
+//	400 bad_request        ErrBadRequest — malformed or invalid request
+//	413 payload_too_large  body exceeded maxBodyBytes
+//	422 budget_exceeded    core.ErrBudgetExceeded — problem outgrew its budget
+//	429 queue_full         ErrQueueFull — bounded queue rejected the request;
+//	                       Retry-After carries a drain estimate
+//	503 shutting_down      ErrShuttingDown — server is draining
+//	503 canceled           client went away mid-request
+//	504 timeout            per-request compute deadline exceeded
+//	500 internal           ErrInternal / core.ErrInternal — contained panic
+//	                       or other server-side failure
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := classifyError(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	writeJSON(w, status, ErrorBody{Error: err.Error(), Code: code})
+}
+
+func classifyError(err error) (status int, code string) {
+	var mbe *http.MaxBytesError
 	switch {
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge, "payload_too_large"
 	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, core.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity, "budget_exceeded"
 	case errors.Is(err, ErrQueueFull):
-		status = http.StatusTooManyRequests
+		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrShuttingDown):
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "shutting_down"
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):
 		// Client went away; the status is never seen but 499-style closure
 		// beats pretending the server failed.
-		status = http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, "canceled"
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return http.StatusInternalServerError, "internal"
+}
+
+// retryAfterSeconds estimates when queue capacity frees up: current depth
+// over the pool's drain rate, using the observed mean job latency (1s when
+// there is no history yet), clamped to [1s, 60s]. It is a hint for client
+// backoff, not a promise.
+func (s *Server) retryAfterSeconds() int {
+	depth := len(s.jobs)
+	meanMS := s.met.meanLatencyMS("flow_")
+	if meanMS <= 0 {
+		meanMS = 1000
+	}
+	sec := int(math.Ceil(float64(depth+1) * meanMS / 1000 / float64(s.cfg.Workers)))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// meanLatencyMS returns the mean sample over all histograms whose name has
+// the prefix; 0 when there are no samples.
+func (m *metrics) meanLatencyMS(prefix string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	var count uint64
+	for name, h := range m.hists {
+		if strings.HasPrefix(name, prefix) {
+			sum += h.sum
+			count += h.count
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,323 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"merlin/internal/faultinject"
+)
+
+// errorBody posts body and requires the given status plus a well-formed
+// ErrorBody with the given code.
+func wantError(t *testing.T, url string, body any, status int, code string) ErrorBody {
+	t.Helper()
+	resp := postJSON(t, url, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != status {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, status)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("error body not JSON: %v", err)
+	}
+	if eb.Code != code {
+		t.Fatalf("code = %q (%q), want %q", eb.Code, eb.Error, code)
+	}
+	if eb.Error == "" {
+		t.Fatal("error body has empty message")
+	}
+	return eb
+}
+
+// TestBudgetExceededEndToEnd is the budget acceptance test: a request whose
+// frontier outgrows its MaxSolutions budget gets 422 budget_exceeded, while
+// concurrent unbudgeted requests on the same server keep succeeding.
+func TestBudgetExceededEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 3})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, seed)})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent unbudgeted request: status %d, want 200", resp.StatusCode)
+			}
+		}(int64(100 + i))
+	}
+
+	wantError(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 12, 7), Budget: &Budget{MaxSolutions: 50}},
+		http.StatusUnprocessableEntity, "budget_exceeded")
+	wg.Wait()
+}
+
+func TestBudgetMaxSinksRejectsBeforeCompute(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wantError(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 8, 3), Budget: &Budget{MaxSinks: 4}},
+		http.StatusUnprocessableEntity, "budget_exceeded")
+	stats := decode[Stats](t, mustGet(t, ts.URL+"/v1/stats"))
+	if got := stats.Counters["jobs.completed"] + stats.Counters["jobs.failed"]; got != 0 {
+		t.Errorf("MaxSinks rejection reached a worker: %d jobs ran", got)
+	}
+}
+
+func TestBudgetWallTimeExceeded(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wantError(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 20, 11), Budget: &Budget{MaxWallMS: 1}},
+		http.StatusUnprocessableEntity, "budget_exceeded")
+}
+
+func TestBudgetNegativeFieldsAre400(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wantError(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 6, 1), Budget: &Budget{MaxSolutions: -1}},
+		http.StatusBadRequest, "bad_request")
+}
+
+// TestHardCapClampsRequestBudget: a request asking for more solutions than
+// Config.MaxSolutionsCap is clamped down to the cap, so a problem that needs
+// more than the cap fails with 422 no matter what the client asks for.
+func TestHardCapClampsRequestBudget(t *testing.T) {
+	s := New(Config{Workers: 1, MaxSolutionsCap: 50})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wantError(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 12, 7), Budget: &Budget{MaxSolutions: 1 << 30}},
+		http.StatusUnprocessableEntity, "budget_exceeded")
+}
+
+// TestWorkerPanicContained: an injected panic inside a worker job fails only
+// that request with a structured 500, bumps the panics metric, and leaves
+// the worker alive and serving.
+func TestWorkerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.SiteServiceWorker, faultinject.Fault{Mode: faultinject.ModePanic})
+	eb := wantError(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 21)},
+		http.StatusInternalServerError, "internal")
+	if !strings.Contains(eb.Error, "panic") {
+		t.Errorf("500 body does not mention the contained panic: %q", eb.Error)
+	}
+
+	faultinject.Disarm(faultinject.SiteServiceWorker)
+	resp := postJSON(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 22)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("worker did not survive the panic: follow-up status %d", resp.StatusCode)
+	}
+	stats := decode[Stats](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.Counters["panics"] < 1 {
+		t.Errorf("panics metric = %d, want >= 1", stats.Counters["panics"])
+	}
+	if stats.Counters["jobs.failed"] < 1 {
+		t.Errorf("jobs.failed = %d, want >= 1", stats.Counters["jobs.failed"])
+	}
+}
+
+// TestWorkerInjectedError: a non-panic injected fault fails the one request
+// with a 500 and nothing else.
+func TestWorkerInjectedError(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.SiteServiceWorker, faultinject.Fault{Mode: faultinject.ModeError})
+	wantError(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 31)},
+		http.StatusInternalServerError, "internal")
+	faultinject.Disarm(faultinject.SiteServiceWorker)
+	resp := postJSON(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 31)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up after injected error: status %d", resp.StatusCode)
+	}
+}
+
+// TestHandlerPanicContained: a panic at the HTTP layer (before the worker
+// pool) is contained by the recover middleware with a structured 500, and
+// the server keeps serving.
+func TestHandlerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.SiteServiceHandler, faultinject.Fault{Mode: faultinject.ModePanic})
+	wantError(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 41)},
+		http.StatusInternalServerError, "internal")
+
+	faultinject.Disarm(faultinject.SiteServiceHandler)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after handler panic: status %d", resp.StatusCode)
+	}
+	stats := decode[Stats](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.Counters["panics"] < 1 {
+		t.Errorf("panics metric = %d, want >= 1", stats.Counters["panics"])
+	}
+}
+
+// TestOversizedBodyIs413: a body over maxBodyBytes is its own failure class,
+// 413 payload_too_large, not a generic 400.
+func TestOversizedBodyIs413(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	huge := `{"flow":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/route", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatalf("413 body not JSON: %v", err)
+	}
+	if eb.Code != "payload_too_large" {
+		t.Errorf("code = %q, want payload_too_large", eb.Code)
+	}
+}
+
+// TestQueueFullSetsRetryAfter: with one worker pinned on a job and the
+// one-slot queue occupied, the next request gets 429 with a plausible
+// integer Retry-After derived from queue depth.
+func TestQueueFullSetsRetryAfter(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s := New(Config{
+		Workers: 1, QueueDepth: 1,
+		onJobStart: func() { started <- struct{}{}; <-release },
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, seed)})
+			resp.Body.Close()
+		}(int64(51 + i))
+	}
+	<-started // first job provably in flight, worker pinned
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.jobs) == 0 { // second job provably queued
+		if time.Now().After(deadline) {
+			t.Fatal("second job never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 53)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 || sec > 60 {
+		t.Fatalf("Retry-After = %q, want integer in [1,60]", ra)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Code != "queue_full" {
+		t.Fatalf("429 body = %+v (err %v), want code queue_full", eb, err)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+// TestDrainPath covers the SIGTERM path at the service level (cmd/merlind
+// wires SIGTERM to Shutdown): once draining, healthz flips to 503 and new
+// routes are refused with shutting_down, while the in-flight job runs to
+// completion and Shutdown returns cleanly.
+func TestDrainPath(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s := New(Config{
+		Workers: 1,
+		onJobStart: func() { started <- struct{}{}; <-release },
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	inFlightStatus := make(chan int, 1)
+	go func() {
+		resp := postJSON(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 61)})
+		defer resp.Body.Close()
+		inFlightStatus <- resp.StatusCode
+	}()
+	<-started // job provably running
+
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- s.Shutdown(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := mustGet(t, ts.URL+"/v1/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+	}
+	wantError(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 62)},
+		http.StatusServiceUnavailable, "shutting_down")
+
+	close(release) // let the in-flight job finish
+	if got := <-inFlightStatus; got != http.StatusOK {
+		t.Errorf("in-flight request during drain: status %d, want 200", got)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown returned %v", err)
+	}
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"merlin/internal/core"
+	"merlin/internal/faultinject"
 	"merlin/internal/flows"
 )
 
@@ -33,6 +36,16 @@ type Config struct {
 	// MaxSinks rejects nets larger than this (the DPs are cubic and worse);
 	// default 64, negative disables the limit.
 	MaxSinks int
+	// DefaultMaxSolutions is the server-wide default resource budget: the
+	// retained-solution cap applied to every request that does not carry a
+	// budget of its own (see core.Budget.MaxSolutions — it bounds the DP's
+	// dominant memory term). Default 4,000,000; negative disables the
+	// default so unbudgeted requests run unbounded.
+	DefaultMaxSolutions int
+	// MaxSolutionsCap is the hard per-request ceiling: any request budget
+	// above it (or a disabled default) is clamped down to it. Default
+	// 8,000,000; negative disables the cap.
+	MaxSolutionsCap int
 
 	// onJobStart, when set (tests only), runs as a worker picks up a job —
 	// it lets shutdown and queue tests pin a job as provably in flight.
@@ -58,15 +71,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxSinks == 0 {
 		c.MaxSinks = 64
 	}
+	if c.DefaultMaxSolutions == 0 {
+		c.DefaultMaxSolutions = 4_000_000
+	}
+	if c.MaxSolutionsCap == 0 {
+		c.MaxSolutionsCap = 8_000_000
+	}
 	return c
 }
 
 // Service errors the HTTP layer maps to status codes.
 var (
-	// ErrQueueFull means the bounded job queue rejected the request (429).
+	// ErrQueueFull means the bounded job queue rejected the request (429,
+	// with a Retry-After hint derived from the current queue depth).
 	ErrQueueFull = errors.New("service: job queue full")
 	// ErrShuttingDown means the server is draining and accepts no new work (503).
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrInternal wraps a panic contained by the worker guard or the handler
+	// middleware (500). The request that triggered it fails; the worker and
+	// the process stay up. core.ErrInternal (a panic contained at the engine
+	// boundary) maps to the same 500.
+	ErrInternal = errors.New("service: internal error")
 )
 
 type jobResult struct {
@@ -263,14 +288,45 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	engines := newLRU(s.cfg.EngineCacheSize)
 	for j := range s.jobs {
-		s.runJob(j, engines)
+		s.runJobGuarded(j, engines)
 		s.inflight.Done()
 	}
+}
+
+// runJobGuarded is the worker's panic boundary: a panic anywhere in a job —
+// the engine boundary in core already contains DP panics, so this catches
+// everything outside it (flows I/II, response building, injected faults) —
+// fails only that request with ErrInternal (a structured 500), records the
+// stack, bumps the panics metric, evicts the implicated engine, and leaves
+// the worker alive for the next job.
+func (s *Server) runJobGuarded(j *job, engines *lruCache) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.met.inc("panics")
+		s.met.inc("jobs.failed")
+		log.Printf("service: contained worker panic: %v\n%s", r, debug.Stack())
+		engines.Delete(j.eng)
+		select {
+		// done is buffered(1) and runJob sends at most once, so this send
+		// only fills an empty buffer; the default arm is pure paranoia.
+		case j.done <- jobResult{err: fmt.Errorf("%w: contained worker panic: %v", ErrInternal, r)}:
+		default:
+		}
+	}()
+	s.runJob(j, engines)
 }
 
 func (s *Server) runJob(j *job, engines *lruCache) {
 	if s.cfg.onJobStart != nil {
 		s.cfg.onJobStart()
+	}
+	if err := faultinject.Fire(faultinject.SiteServiceWorker); err != nil {
+		s.met.inc("jobs.failed")
+		j.done <- jobResult{err: err}
+		return
 	}
 	if err := j.ctx.Err(); err != nil {
 		// Canceled while queued: don't burn a worker on a dead request.

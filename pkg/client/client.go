@@ -1,0 +1,326 @@
+// Package client is a retrying Go client for the merlind HTTP API
+// (internal/service): POST /v1/route and /v1/batch plus the healthz/stats
+// probes, with context-aware exponential backoff and full jitter.
+//
+// Retry policy. Routing requests are pure functions of their body — the
+// server caches them by a canonical fingerprint — so replaying one is always
+// safe. The client therefore retries transport errors and the two statuses
+// that mean "try later" (429 queue_full, 503 shutting_down/draining),
+// honoring the server's Retry-After hint when present. Anything else (400,
+// 413, 422, 500, 504) is a verdict about this request, not about timing, and
+// is returned immediately. Streaming batches are the one exception: once
+// NDJSON items have been consumed the request is no longer safely
+// replayable by the client (the caller has seen results), so mid-stream
+// failures are never retried — see BatchStream.
+//
+// The probes Healthz and Stats never retry: they exist to observe the
+// server's current state, and a retried probe answers a different question.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"merlin/internal/service"
+)
+
+// APIError is a non-2xx response from the server, carrying the structured
+// error body (message + machine-readable code) and any Retry-After hint.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable error code ("bad_request",
+	// "budget_exceeded", "queue_full", ...; see the service error taxonomy).
+	Code string
+	// Message is the human-readable error text.
+	Message string
+	// RetryAfter is the server's Retry-After hint; 0 when absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("merlind: %d %s: %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("merlind: %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the error means "try again later" rather than
+// "this request is wrong": a full queue or a draining server.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one merlind server. It is safe for concurrent use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default: a client
+// with no global timeout — per-call contexts bound each request).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries sets how many times a retryable failure is retried
+// (default 4; 0 disables retries).
+func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the base and ceiling of the exponential backoff
+// (defaults 100ms and 5s). A server Retry-After hint overrides the computed
+// backoff when it is longer.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
+}
+
+// WithSeed makes the backoff jitter deterministic, for tests.
+func WithSeed(seed int64) Option {
+	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New returns a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{},
+		maxRetries:  4,
+		baseBackoff: 100 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Route routes one net, retrying per the package policy.
+func (c *Client) Route(ctx context.Context, req *service.RouteRequest) (*service.RouteResponse, error) {
+	var out service.RouteResponse
+	if err := c.postRetry(ctx, "/v1/route", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch routes many nets in one collected (non-streamed) call, retrying per
+// the package policy. req.Stream is forced off; use BatchStream for NDJSON.
+func (c *Client) Batch(ctx context.Context, req *service.BatchRequest) (*service.BatchResponse, error) {
+	r := *req
+	r.Stream = false
+	var out service.BatchResponse
+	if err := c.postRetry(ctx, "/v1/batch", &r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BatchStream routes many nets with streamed NDJSON results, calling fn for
+// each item as it arrives. Obtaining the stream (connecting, 429/503
+// rejections) is retried like any request, but once the first item has been
+// consumed the request is no longer replayable from the client's side —
+// fn has observed results — so a mid-stream failure returns an error and is
+// never retried. fn returning an error stops the stream and returns that
+// error.
+func (c *Client) BatchStream(ctx context.Context, req *service.BatchRequest, fn func(service.BatchItem) error) error {
+	r := *req
+	r.Stream = true
+	body, err := json.Marshal(&r)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	resp, err := c.doRetry(ctx, "/v1/batch", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var item service.BatchItem
+		if err := dec.Decode(&item); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("client: stream broken mid-batch (not retried): %w", err)
+		}
+		if err := fn(item); err != nil {
+			return err
+		}
+	}
+}
+
+// Healthz probes /v1/healthz once (no retries): nil when the server is live,
+// an *APIError with status 503 when it is draining.
+func (c *Client) Healthz(ctx context.Context) error {
+	resp, err := c.get(ctx, "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return apiErrorFrom(resp)
+}
+
+// Stats fetches /v1/stats once (no retries).
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	resp, err := c.get(ctx, "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorFrom(resp)
+	}
+	var out service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode stats: %w", err)
+	}
+	return &out, nil
+}
+
+// postRetry sends a JSON POST with retries and decodes the 200 body into out.
+func (c *Client) postRetry(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	resp, err := c.doRetry(ctx, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// doRetry POSTs body to path until it gets a 2xx, a non-retryable verdict,
+// or the retry budget / context runs out. On a retryable failure it sleeps
+// the exponential backoff with full jitter, or the server's Retry-After hint
+// when that is longer.
+func (c *Client) doRetry(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, c.abort(err, lastErr)
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		var wait time.Duration
+		switch {
+		case err != nil:
+			// Transport failure before a verdict; the request is replayable.
+			lastErr = err
+		case resp.StatusCode/100 == 2:
+			return resp, nil
+		default:
+			apiErr := apiErrorFrom(resp) // also drains and closes the body
+			if !apiErr.Retryable() {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+			wait = apiErr.RetryAfter
+		}
+		if attempt >= c.maxRetries {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, wait)); err != nil {
+			return nil, c.abort(err, lastErr)
+		}
+	}
+}
+
+// abort wraps a context error with the last server-side failure, so "context
+// deadline exceeded" still tells the caller what it was waiting out.
+func (c *Client) abort(ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("client: %w (last failure: %v)", ctxErr, lastErr)
+}
+
+// backoff computes the attempt's sleep: exponential base growth capped at
+// maxBackoff, with full jitter (uniform in [d/2, d)); a server hint longer
+// than the computed value wins — the server knows its queue.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	d := c.baseBackoff << uint(attempt)
+	if d > c.maxBackoff || d <= 0 {
+		d = c.maxBackoff
+	}
+	c.mu.Lock()
+	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	c.mu.Unlock()
+	if hint > jittered {
+		return hint
+	}
+	return jittered
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.hc.Do(req)
+}
+
+// apiErrorFrom builds an *APIError from a non-2xx response, consuming and
+// closing the body. Bodies that are not the service's JSON error shape
+// (proxies, panics mid-encode) degrade to the raw text.
+func apiErrorFrom(resp *http.Response) *APIError {
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	e := &APIError{Status: resp.StatusCode}
+	var body service.ErrorBody
+	if err := json.Unmarshal(raw, &body); err == nil && body.Error != "" {
+		e.Code, e.Message = body.Code, body.Error
+	} else {
+		e.Message = strings.TrimSpace(string(raw))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if sec, err := strconv.Atoi(ra); err == nil && sec >= 0 {
+			e.RetryAfter = time.Duration(sec) * time.Second
+		} else if t, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(t); d > 0 {
+				e.RetryAfter = d
+			}
+		}
+	}
+	return e
+}
