@@ -1,13 +1,14 @@
-# Tier-1 verify is: make build test vet race chaos fuzz
-# (build + full test suite, static analysis, the race detector over the
-# concurrent packages, the fault-injection chaos storm, and short runs of the
-# fuzz targets).
+# Tier-1 verify is: make build test lint race chaos fuzz invariants
+# (build + full test suite, static analysis — go vet then the project's own
+# merlinlint rule suite — the race detector over the concurrent packages, the
+# fault-injection chaos storm, short runs of the fuzz targets, and the DP
+# packages rebuilt and retested with the merlin_invariants assertion layer).
 
 GO ?= go
 # How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet chaos fuzz verify bench
+.PHONY: all build test race vet lint invariants chaos fuzz verify bench
 
 all: build
 
@@ -42,7 +43,20 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
-verify: build test vet race chaos fuzz
+# Project-invariant static analysis: go vet first (cheap, catches the
+# universal mistakes), then merlinlint's five repo-specific rules (ctxonly,
+# goguard, faultsite, errtaxonomy, nopanic). Non-zero exit on any finding;
+# see DESIGN.md "Static analysis & runtime invariants".
+lint: vet
+	$(GO) run ./cmd/merlinlint .
+
+# Rebuild and retest the DP packages with the merlin_invariants assertion
+# layer compiled in: frontier non-inferiority/sort order, Cα-tree shape and
+# finite Elmore delays are checked at runtime and panic on violation.
+invariants:
+	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/...
+
+verify: build test lint race chaos fuzz invariants
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"merlin/internal/core"
 	"merlin/internal/flows"
@@ -127,7 +130,12 @@ func run(netPath string, gen int, seed int64, write, flowName string, alpha, can
 		prof.Core.Goal = core.Goal{Mode: core.GoalMinArea, ReqFloor: reqFloor}
 	}
 
-	res, err := flows.Run(fl, nt, prof)
+	// RunCtx (not the blocking Run) so Ctrl-C aborts a cubic DP on a large
+	// net between sub-problems instead of hanging until kill -9; the ctxonly
+	// lint rule pins this choice.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := flows.RunCtx(ctx, fl, nt, prof)
 	if err != nil {
 		return err
 	}

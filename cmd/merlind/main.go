@@ -84,6 +84,14 @@ func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks
 	log.Printf("merlind: listening on %s", ln.Addr())
 	errc := make(chan error, 1)
 	go func() {
+		// A panic out of Serve must surface as a serve error on errc (errc is
+		// buffered, so the send never blocks), not kill the process before
+		// the drain path below can run.
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("serve panic: %v", r)
+			}
+		}()
 		errc <- hs.Serve(ln)
 	}()
 

@@ -1,0 +1,88 @@
+// Command merlinlint runs the repository's project-invariant static analysis
+// (internal/lint): named rules enforcing the contracts the service and the
+// DP core rely on — Ctx-only engine entry points, panic-guarded goroutines,
+// registered fault-injection sites, taxonomy-routed HTTP errors, and
+// panic-free DP library code. See DESIGN.md "Static analysis & runtime
+// invariants" for the rule catalog and the //lint:allow escape hatch.
+//
+// Usage:
+//
+//	merlinlint [-json] [path]
+//
+// path defaults to "."; a trailing "/..." is accepted (and ignored — the
+// whole module under the nearest go.mod is always linted, mirroring how the
+// rules are defined on repo-relative paths). Exit status: 0 clean, 1 when
+// findings exist, 2 on operational errors.
+//
+// -json emits a JSON array of {file,line,col,rule,message} objects for CI
+// and editor integration; the human form is the go-toolchain
+// file:line:col style.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"merlin/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its streams and exit status lifted out for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("merlinlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file,line,col,rule,message)")
+	rules := fs.Bool("rules", false, "list the rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *rules {
+		for _, r := range lint.Rules {
+			fmt.Fprintf(stdout, "%-12s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	target := "."
+	if rest := fs.Args(); len(rest) > 0 {
+		target = strings.TrimSuffix(rest[0], "...")
+		target = strings.TrimSuffix(target, "/")
+		if target == "" {
+			target = "."
+		}
+	}
+	root, err := lint.FindModuleRoot(target)
+	if err != nil {
+		fmt.Fprintln(stderr, "merlinlint:", err)
+		return 2
+	}
+	diags, err := lint.LintRepo(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "merlinlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "merlinlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "merlinlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

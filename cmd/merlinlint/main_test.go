@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"merlin/internal/lint"
+)
+
+// TestSelfLintClean runs the tool end-to-end over the repository it ships in
+// — the `merlinlint ./...` CI gate. Exit 0 and no output, or the repo broke
+// one of its own invariants.
+func TestSelfLintClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+// TestSelfLintJSON: -json on a clean tree must emit exactly `[]` (never null)
+// and still exit 0.
+func TestSelfLintJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if got := strings.TrimSpace(stdout.String()); got != "[]" {
+		t.Errorf("clean -json output = %q, want []", got)
+	}
+}
+
+// TestRulesFlag: -rules lists every registered rule by name.
+func TestRulesFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, r := range lint.Rules {
+		if !strings.Contains(stdout.String(), r.Name) {
+			t.Errorf("-rules output missing rule %q", r.Name)
+		}
+	}
+}
+
+// TestBadFlag: unknown flags are an operational error (exit 2), not findings.
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -506,6 +506,7 @@ func (en *Engine) ConstructCtx(ctx context.Context, ord order.Order) (final []*c
 	if final == nil {
 		return nil, fmt.Errorf("core: no solution constructed (n=%d, α=%d)", n, en.Opts.Alpha)
 	}
+	assertFinalCurves(final, "ConstructCtx")
 	return final, nil
 }
 
@@ -924,7 +925,11 @@ func (en *Engine) BuildTree(sol curve.Solution) (*tree.Tree, error) {
 	} else {
 		t.Root.AddChild(node)
 	}
-	return t, t.Validate()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	assertBuiltTree(t, en.Opts)
+	return t, nil
 }
 
 // buildNode expands a ref into tree nodes; joins at the same point flatten

@@ -50,7 +50,9 @@ func Stretch(e Chi) int {
 	case Chi3:
 		return 2
 	}
-	panic(fmt.Sprintf("core: invalid grouping structure %d", int(e)))
+	// An invalid Chi is a caller bug, not an input condition; contained by
+	// the engine boundary (recoverToErr in ConstructCtx/MerlinCtx).
+	panic(fmt.Sprintf("core: invalid grouping structure %d", int(e))) //lint:allow nopanic
 }
 
 // SinkSet is the SINK_SET routine of Fig. 13, 0-based: the order positions a
@@ -64,10 +66,12 @@ func Stretch(e Chi) int {
 func SinkSet(r, span int, e Chi) []int {
 	left := r - span + 1
 	if left < 0 {
-		panic(fmt.Sprintf("core: SinkSet span [%d,%d] out of range", left, r))
+		// Invariant panic, contained by the engine boundary (robust.go).
+		panic(fmt.Sprintf("core: SinkSet span [%d,%d] out of range", left, r)) //lint:allow nopanic
 	}
 	if span < minSpan(e) {
-		panic(fmt.Sprintf("core: SinkSet span %d too short for %v", span, e))
+		// Invariant panic, contained by the engine boundary (robust.go).
+		panic(fmt.Sprintf("core: SinkSet span %d too short for %v", span, e)) //lint:allow nopanic
 	}
 	out := make([]int, 0, span-Stretch(e))
 	for p := left; p <= r; p++ {

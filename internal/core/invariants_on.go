@@ -1,0 +1,49 @@
+//go:build merlin_invariants
+
+package core
+
+import (
+	"fmt"
+
+	"merlin/internal/curve"
+	"merlin/internal/tree"
+)
+
+// Runtime assertion layer for the DP engine, enabled by
+// `-tags merlin_invariants` (`make invariants`); invariants_off.go is the
+// zero-cost production mirror. Where the curve package asserts each frontier
+// mutation locally, this file asserts the engine-level contracts: the final
+// per-candidate curves of a construction are true non-inferior frontiers,
+// and every extracted tree realizes a sink order and — in the strict
+// Definition 2 configuration — is a Cα_Tree with branching ≤ α.
+
+// assertFinalCurves panics unless every non-nil per-candidate curve of a
+// finished construction is a pairwise non-inferior frontier (the curves are
+// Cap-thinned, so sort order is not required).
+func assertFinalCurves(final []*curve.Curve, where string) {
+	for p, c := range final {
+		if c == nil {
+			continue
+		}
+		if err := c.CheckFrontier(false); err != nil {
+			panic(fmt.Sprintf("merlin_invariants: %s: candidate %d: %v", where, p, err))
+		}
+	}
+}
+
+// assertBuiltTree panics unless the reconstructed tree realizes a sink order
+// (the alphabetic property: a depth-first traversal meets every sink exactly
+// once). Under Options.ForceGroupBuffers with the Definition 2 hierarchy
+// (MaxInternalChildren ≤ 1) it additionally demands a strict Cα_Tree with
+// branching factor ≤ α; relaxed configurations let unbuffered sub-groups
+// collapse into their parent, where the α bound is legitimately unobservable.
+func assertBuiltTree(t *tree.Tree, opts Options) {
+	if ord := t.SinkOrder(); !ord.Valid() {
+		panic(fmt.Sprintf("merlin_invariants: BuildTree: tree does not realize a sink order (got %v)", ord))
+	}
+	if opts.ForceGroupBuffers && opts.MaxInternalChildren <= 1 {
+		if _, err := t.IsCaTree(opts.Alpha); err != nil {
+			panic(fmt.Sprintf("merlin_invariants: BuildTree: not a Cα_Tree (α=%d): %v", opts.Alpha, err))
+		}
+	}
+}

@@ -140,6 +140,7 @@ func (c *Curve) Prune() {
 		insert(s)
 	}
 	c.Sols = out
+	assertFrontier(c, "Prune")
 }
 
 // The staircase reasoning above is subtle enough that Prune is additionally
@@ -185,6 +186,7 @@ func (c *Curve) PruneNaive() {
 		return a.Req > b.Req
 	})
 	c.Sols = out
+	assertFrontier(c, "PruneNaive")
 }
 
 // Dominated reports whether any stored solution dominates (load, req, area);
@@ -223,6 +225,7 @@ func (c *Curve) InsertKnownGood(s Solution) {
 		out = append(out, t)
 	}
 	c.Sols = append(out, s)
+	assertInserted(c, "InsertKnownGood")
 }
 
 // InsertSol is TryInsert for a fully built Solution (its Ref included).
@@ -240,6 +243,7 @@ func (c *Curve) InsertSol(s Solution) bool {
 	}
 	if firstDead < 0 {
 		c.Sols = append(sols, s)
+		assertInserted(c, "InsertSol")
 		return true
 	}
 	out := sols[:firstDead]
@@ -250,6 +254,7 @@ func (c *Curve) InsertSol(s Solution) bool {
 		out = append(out, t)
 	}
 	c.Sols = append(out, s)
+	assertInserted(c, "InsertSol")
 	return true
 }
 
@@ -274,6 +279,7 @@ func (c *Curve) TryInsert(load, req, area float64, mkRef func() any) bool {
 	}
 	if firstDead < 0 {
 		c.Sols = append(sols, s)
+		assertInserted(c, "TryInsert")
 		return true
 	}
 	out := sols[:firstDead]
@@ -284,6 +290,7 @@ func (c *Curve) TryInsert(load, req, area float64, mkRef func() any) bool {
 		out = append(out, t)
 	}
 	c.Sols = append(out, s)
+	assertInserted(c, "TryInsert")
 	return true
 }
 
@@ -320,6 +327,7 @@ func (c *Curve) Cap(max int) {
 		kept = append(kept, c.Sols[idx])
 	}
 	c.Sols = kept
+	assertNonInferior(c, "Cap")
 }
 
 // BestReq returns the solution with the maximum required time, breaking ties
@@ -381,9 +389,11 @@ func (c *Curve) WireOp(t rc.Technology, length int64, mkRef func(Solution) any) 
 	out := &Curve{Sols: make([]Solution, 0, len(c.Sols))}
 	wc := t.WireC(length)
 	for _, s := range c.Sols {
+		d := t.WireElmore(length, s.Load)
+		assertFiniteDelay(d, "curve.WireOp: WireElmore")
 		ns := Solution{
 			Load: t.QuantizeLoad(s.Load + wc),
-			Req:  s.Req - t.WireElmore(length, s.Load),
+			Req:  s.Req - d,
 			Area: s.Area,
 		}
 		if mkRef != nil {
@@ -403,9 +413,11 @@ func (c *Curve) BufferOp(t rc.Technology, g rc.Gate, mkRef func(Solution) any) *
 	out := &Curve{Sols: make([]Solution, 0, len(c.Sols))}
 	cin := t.QuantizeLoad(g.Cin)
 	for _, s := range c.Sols {
+		d := g.DelayNominal(t, s.Load)
+		assertFiniteDelay(d, "curve.BufferOp: DelayNominal")
 		ns := Solution{
 			Load: cin,
-			Req:  s.Req - g.DelayNominal(t, s.Load),
+			Req:  s.Req - d,
 			Area: s.Area + g.Area,
 		}
 		if mkRef != nil {

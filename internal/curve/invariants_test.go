@@ -1,0 +1,104 @@
+package curve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// corruptedFrontier returns a curve violating Definition 6: the second
+// solution is inferior to the first (same load, worse req, worse area). No
+// pruned-curve operation can produce this state — it models a regression in
+// the pruning/insert logic.
+func corruptedFrontier() *Curve {
+	return &Curve{Sols: []Solution{
+		{Load: 1, Req: 10, Area: 5},
+		{Load: 1, Req: 9, Area: 6},
+	}}
+}
+
+// TestCorruptedFrontierDetection is the invariant layer's regression proof,
+// run in BOTH build modes (`go test` and `go test -tags merlin_invariants`):
+// deliberately corrupting a frontier by inserting an inferior point — the
+// precondition-violating call a buggy DP hot loop would make — must panic
+// under the tag and pass silently without it, demonstrating both that the
+// assertions really detect Definition 6 violations and that the production
+// no-op mirrors cost nothing.
+func TestCorruptedFrontierDetection(t *testing.T) {
+	clean := &Curve{Sols: []Solution{{Load: 1, Req: 10, Area: 5}}}
+	// inferior is dominated by the existing point (same load, worse req,
+	// worse area). InsertKnownGood's contract is that the caller already
+	// verified !Dominated — calling it anyway is exactly the insert-path bug
+	// the assertion layer exists to catch at the corrupting operation.
+	inferior := Solution{Load: 1, Req: 9, Area: 6}
+
+	panicked := func() (p any) {
+		defer func() { p = recover() }()
+		clean.InsertKnownGood(inferior)
+		return nil
+	}()
+
+	if InvariantsEnabled {
+		if panicked == nil {
+			t.Fatalf("merlin_invariants build: inserting an inferior point did not panic")
+		}
+		msg := fmt.Sprint(panicked)
+		if !strings.Contains(msg, "inferior") {
+			t.Errorf("panic message does not name the dominance violation: %s", msg)
+		}
+	} else {
+		if panicked != nil {
+			t.Fatalf("production build: invariant assertion fired without the tag: %v", panicked)
+		}
+		// The corruption went through silently; the (test-only) full checker
+		// can still prove the frontier is now broken.
+		if err := clean.CheckFrontier(false); err == nil {
+			t.Fatal("production build: frontier not actually corrupted — test scenario is wrong")
+		}
+	}
+}
+
+// TestCheckFrontier pins the checker itself (it is the oracle the assertion
+// layer panics on, so it must be right in both build modes).
+func TestCheckFrontier(t *testing.T) {
+	good := &Curve{Sols: []Solution{
+		{Load: 1, Req: 5, Area: 9},
+		{Load: 2, Req: 7, Area: 4},
+		{Load: 3, Req: 9, Area: 1},
+	}}
+	if err := good.CheckFrontier(true); err != nil {
+		t.Errorf("valid sorted frontier rejected: %v", err)
+	}
+
+	if err := corruptedFrontier().CheckFrontier(false); err == nil {
+		t.Error("dominance violation not detected")
+	} else if !strings.Contains(err.Error(), "inferior") {
+		t.Errorf("wrong error for dominance violation: %v", err)
+	}
+
+	dup := &Curve{Sols: []Solution{{Load: 1, Req: 5, Area: 2}, {Load: 1, Req: 5, Area: 2}}}
+	if err := dup.CheckFrontier(false); err == nil {
+		t.Error("duplicate triple not detected")
+	}
+
+	unsorted := &Curve{Sols: []Solution{
+		{Load: 2, Req: 7, Area: 4},
+		{Load: 1, Req: 5, Area: 9},
+	}}
+	if err := unsorted.CheckFrontier(true); err == nil {
+		t.Error("sort violation not detected with requireSorted")
+	}
+	if err := unsorted.CheckFrontier(false); err != nil {
+		t.Errorf("sort order wrongly demanded without requireSorted: %v", err)
+	}
+
+	nan := &Curve{Sols: []Solution{{Load: 1, Req: nanf(), Area: 2}}}
+	if err := nan.CheckFrontier(false); err == nil {
+		t.Error("NaN coordinate not detected")
+	}
+}
+
+func nanf() float64 {
+	z := 0.0
+	return z / z
+}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxonlyRule forbids the blocking non-Ctx engine entry points in serving
+// code. internal/service, pkg/client and cmd/ must call ConstructCtx /
+// MerlinCtx / flows.RunCtx so per-request deadlines, cancellation and the
+// engine's panic boundary apply; the context-free forms exist for library
+// consumers and experiments only.
+//
+// Heuristic (syntactic, no type info): a call whose callee is a selector
+// named Construct or Merlin (any receiver — core.Merlin, en.Construct), or
+// Run / RunAll / RunFlowI / RunFlowII / RunFlowIII on a receiver identifier
+// named flows. _test.go files are exempt: tests deliberately compare the
+// blocking forms against the service path.
+var ctxonlyRule = &Rule{
+	Name: "ctxonly",
+	Doc:  "serving code must use the Ctx engine entry points (ConstructCtx, MerlinCtx, flows.RunCtx)",
+	Applies: func(path string) bool {
+		return !isTestFile(path) && underAny(path, "internal/service", "pkg/client", "cmd")
+	},
+	Check: checkCtxOnly,
+}
+
+// ctxonlyFlowsFuncs are the blocking flows entry points (receiver must be the
+// flows package identifier).
+var ctxonlyFlowsFuncs = map[string]string{
+	"Run":        "flows.RunCtx",
+	"RunAll":     "flows.RunCtx per flow",
+	"RunFlowI":   "flows.RunCtx(ctx, flows.FlowI, ...)",
+	"RunFlowII":  "flows.RunCtx(ctx, flows.FlowII, ...)",
+	"RunFlowIII": "flows.RunFlowIIIOn",
+}
+
+// ctxonlyEngineFuncs are the blocking engine entry points (any receiver:
+// package core or an engine value).
+var ctxonlyEngineFuncs = map[string]string{
+	"Construct": "ConstructCtx",
+	"Merlin":    "MerlinCtx",
+}
+
+func checkCtxOnly(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if alt, ok := ctxonlyEngineFuncs[name]; ok {
+			out = append(out, f.diag(call.Pos(), "ctxonly",
+				"blocking engine entry point %s: call %s so deadlines, cancellation and the panic boundary apply", name, alt))
+			return true
+		}
+		if alt, ok := ctxonlyFlowsFuncs[name]; ok {
+			if recv, ok := sel.X.(*ast.Ident); ok && recv.Name == "flows" {
+				out = append(out, f.diag(call.Pos(), "ctxonly",
+					"blocking flow entry point flows.%s: call %s so deadlines, cancellation and the panic boundary apply", name, alt))
+			}
+		}
+		return true
+	})
+	return out
+}

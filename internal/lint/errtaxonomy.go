@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// errtaxonomyRule keeps every error response in internal/service flowing
+// through the taxonomy writer (Server.writeError in http.go), which is what
+// guarantees the documented JSON {"error","code"} body, the status mapping
+// and the Retry-After header. A stray http.Error or bare 5xx WriteHeader
+// ships a response clients cannot branch on.
+//
+// Checked in internal/service non-test files except the designated writer
+// file internal/service/http.go itself:
+//
+//   - any call to http.Error
+//   - any call to <recv>.WriteHeader with a literal 5xx status or an
+//     http.Status* selector naming a 5xx status
+//
+// WriteHeader with a computed status (writeJSON's `status` variable) is the
+// sanctioned form and out of syntactic reach by design.
+var errtaxonomyRule = &Rule{
+	Name: "errtaxonomy",
+	Doc:  "internal/service error responses must go through the taxonomy writer in http.go",
+	Applies: func(path string) bool {
+		return underAny(path, "internal/service") && !isTestFile(path) && path != "internal/service/http.go"
+	},
+	Check: checkErrTaxonomy,
+}
+
+// status5xxNames are the net/http constant names for 5xx statuses.
+var status5xxNames = map[string]bool{
+	"StatusInternalServerError":           true,
+	"StatusNotImplemented":                true,
+	"StatusBadGateway":                    true,
+	"StatusServiceUnavailable":            true,
+	"StatusGatewayTimeout":                true,
+	"StatusHTTPVersionNotSupported":       true,
+	"StatusVariantAlsoNegotiates":         true,
+	"StatusInsufficientStorage":           true,
+	"StatusLoopDetected":                  true,
+	"StatusNotExtended":                   true,
+	"StatusNetworkAuthenticationRequired": true,
+}
+
+func checkErrTaxonomy(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "http" && sel.Sel.Name == "Error" {
+			out = append(out, f.diag(call.Pos(), "errtaxonomy",
+				"direct http.Error bypasses the error taxonomy: use Server.writeError so the JSON {error,code} body and status mapping apply"))
+			return true
+		}
+		if sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 && is5xxStatus(call.Args[0]) {
+			out = append(out, f.diag(call.Pos(), "errtaxonomy",
+				"bare 5xx WriteHeader bypasses the error taxonomy: use Server.writeError (500s must carry the structured body and bump the right metrics)"))
+		}
+		return true
+	})
+	return out
+}
+
+// is5xxStatus reports whether the expression is a literal int in [500,600) or
+// an http.Status* selector naming a 5xx status.
+func is5xxStatus(e ast.Expr) bool {
+	switch a := e.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.INT {
+			return false
+		}
+		v, err := strconv.Atoi(a.Value)
+		return err == nil && v >= 500 && v < 600
+	case *ast.SelectorExpr:
+		pkg, ok := a.X.(*ast.Ident)
+		return ok && pkg.Name == "http" && strings.HasPrefix(a.Sel.Name, "Status") && status5xxNames[a.Sel.Name]
+	}
+	return false
+}

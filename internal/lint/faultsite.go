@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// faultsiteRule checks every fault-injection site name against the registry
+// extracted from internal/faultinject (the `Site*` constants). A site string
+// that matches nothing registered never fires — the chaos test it was meant
+// to arm silently tests nothing — so unknown names are findings, not typos to
+// discover in production.
+//
+// Checked forms, in every file including tests (catching a typo'd test arm is
+// the point), except inside internal/faultinject itself (its own tests arm
+// scratch sites by design):
+//
+//   - faultinject.Fire/Arm/Disarm("literal")       → literal must be registered
+//   - faultinject.Fire/Arm/Disarm(faultinject.X)   → X must be a Site constant
+//   - faultinject.Set("a=panic,b=delay:1ms")       → each site must be registered
+//
+// The rule is skipped when no registry could be loaded (File.Registry nil).
+var faultsiteRule = &Rule{
+	Name: "faultsite",
+	Doc:  "fault-injection site names must be registered Site* constants of internal/faultinject",
+	Applies: func(path string) bool {
+		return !underAny(path, "internal/faultinject") && !strings.HasPrefix(path, "internal/faultinject")
+	},
+	Check: checkFaultSite,
+}
+
+// faultsiteSingle are the faultinject functions taking one site name.
+var faultsiteSingle = map[string]bool{"Fire": true, "Arm": true, "Disarm": true}
+
+func checkFaultSite(f *File) []Diagnostic {
+	if f.Registry == nil {
+		return nil
+	}
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "faultinject" {
+			return true
+		}
+		switch {
+		case faultsiteSingle[sel.Sel.Name]:
+			out = append(out, checkSiteArg(f, call.Args[0])...)
+		case sel.Sel.Name == "Set":
+			out = append(out, checkSetSpec(f, call.Args[0])...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkSiteArg validates one site argument: a string literal's value, or a
+// faultinject.X selector's constant name.
+func checkSiteArg(f *File, arg ast.Expr) []Diagnostic {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if a.Kind != token.STRING {
+			return nil
+		}
+		val, err := strconv.Unquote(a.Value)
+		if err != nil || f.Registry.Values[val] {
+			return nil
+		}
+		return []Diagnostic{f.diag(a.Pos(), "faultsite",
+			"unknown fault site %q: not a registered Site* constant value of internal/faultinject (a typo here silently disarms the fault)", val)}
+	case *ast.SelectorExpr:
+		pkg, ok := a.X.(*ast.Ident)
+		if !ok || pkg.Name != "faultinject" {
+			return nil
+		}
+		if _, known := f.Registry.Consts[a.Sel.Name]; known {
+			return nil
+		}
+		return []Diagnostic{f.diag(a.Pos(), "faultsite",
+			"unknown fault-site constant faultinject.%s: not declared in internal/faultinject", a.Sel.Name)}
+	}
+	return nil // dynamic expression: out of syntactic reach
+}
+
+// checkSetSpec validates the site names inside a literal MERLIN_FAULTS-style
+// spec passed to faultinject.Set.
+func checkSetSpec(f *File, arg ast.Expr) []Diagnostic {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return nil
+	}
+	spec, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, _, ok := strings.Cut(part, "=")
+		if !ok || f.Registry.Values[site] {
+			continue
+		}
+		out = append(out, f.diag(lit.Pos(), "faultsite",
+			"unknown fault site %q in Set spec: not a registered Site* constant value of internal/faultinject", site))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// goguardRule requires every `go func` literal in serving code to contain a
+// panic guard: an unguarded goroutine panic kills the whole process — no
+// middleware, no worker guard, nothing between the panic and os.Exit(2).
+// PR 2's containment story only holds if every spawned goroutine either
+// defers a recover() itself or defers one of the project's guard helpers.
+//
+// Heuristic: a *ast.GoStmt whose callee is a function literal passes iff one
+// of the literal's top-level statements is a `defer` of either
+//
+//   - a function literal whose body calls recover(), or
+//   - a named function whose identifier matches (?i)guard|recover
+//     (e.g. s.guardPanic, recoverToErr, pool guards).
+//
+// `go name()` with a named function is not checked — the guard lives (and is
+// reviewed) in the named function's own body, e.g. Server.worker →
+// runJobGuarded. _test.go files are exempt: the testing package turns a test
+// goroutine panic into a test failure, which is the desired behavior there.
+var goguardRule = &Rule{
+	Name: "goguard",
+	Doc:  "every `go func` literal in serving code must defer a recover or a guard helper",
+	Applies: func(path string) bool {
+		return !isTestFile(path) && underAny(path, "internal/service", "internal/flows", "cmd")
+	},
+	Check: checkGoGuard,
+}
+
+var guardNameRE = regexp.MustCompile(`(?i)guard|recover`)
+
+func checkGoGuard(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // `go name()`: the guard is the named function's concern
+		}
+		if !hasGuardDefer(lit.Body) {
+			out = append(out, f.diag(gs.Pos(), "goguard",
+				"unguarded goroutine: a panic here kills the process; defer a recover() or a guard helper (e.g. Server.guardPanic) as the literal's first statement"))
+		}
+		return true
+	})
+	return out
+}
+
+// hasGuardDefer reports whether any top-level statement of body is a
+// qualifying guard defer.
+func hasGuardDefer(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		ds, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fn := ds.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if bodyCallsRecover(fn.Body) {
+				return true
+			}
+		case *ast.Ident:
+			if guardNameRE.MatchString(fn.Name) {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if guardNameRE.MatchString(fn.Sel.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyCallsRecover reports whether the block contains a call to the recover
+// builtin anywhere (including nested expressions and statements).
+func bodyCallsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders findings in the machine-readable form CI and editors
+// consume: a JSON array of {file,line,col,rule,message} objects, one finding
+// per element, indented, with a trailing newline. An empty finding list
+// renders as `[]`, never `null`, so consumers can index unconditionally.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

@@ -1,0 +1,283 @@
+// Package lint implements merlinlint, the project-invariant static-analysis
+// suite: a set of named, table-driven rules enforcing contracts that PRs 1–2
+// established only in prose — engine calls go through the Ctx entry points,
+// every service goroutine is panic-guarded, fault-injection site names match
+// the registry, HTTP errors flow through the taxonomy writer, and library
+// code in the DP core never panics outside recover-guarded boundaries.
+//
+// The analysis is purely syntactic (stdlib go/parser + go/ast + go/token; no
+// type information and no network-fetched dependencies), which keeps it
+// hermetic and fast. Each rule documents its matching heuristic; the
+// `//lint:allow <rule> [reason]` comment on the offending line or the line
+// directly above suppresses a finding where the heuristic is wrong or the
+// violation is deliberate and justified.
+//
+// Rules (see Rules for the authoritative table):
+//
+//	ctxonly     no blocking non-Ctx engine entry points from serving code
+//	goguard     every `go func` literal in serving code defers a recover/guard
+//	faultsite   fault-injection site strings must be registered in
+//	            internal/faultinject (a typo silently disarms chaos tests)
+//	errtaxonomy HTTP errors in internal/service flow through the designated
+//	            writer in http.go, never http.Error / bare 5xx WriteHeader
+//	nopanic     no panic() in internal/core and internal/curve library code
+//	            outside recover-guarded functions (assertion files built under
+//	            the merlin_invariants tag are exempt by design)
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a rule violation at a position.
+type Diagnostic struct {
+	// File is the repo-relative, slash-separated path.
+	File string `json:"file"`
+	// Line and Col are 1-based, as printed by the go toolchain.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Rule is the name of the rule that fired.
+	Rule string `json:"rule"`
+	// Message explains the violation and the sanctioned alternative.
+	Message string `json:"message"`
+}
+
+// String renders the go-toolchain diagnostic form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// File is one parsed source file presented to rules.
+type File struct {
+	// Path is the repo-relative, slash-separated path rules scope on. Tests
+	// may set a logical path different from the on-disk fixture location.
+	Path string
+	Fset *token.FileSet
+	AST  *ast.File
+	// Registry is the fault-site registry shared across files; nil disables
+	// the faultsite rule (e.g. when linting a tree with no faultinject
+	// package).
+	Registry *Registry
+
+	allowed map[int]map[string]bool // line → set of rule names allowed there
+}
+
+// Rule is one named project invariant.
+type Rule struct {
+	// Name is the stable identifier used in output and //lint:allow comments.
+	Name string
+	// Doc is the one-line description shown by merlinlint -rules.
+	Doc string
+	// Applies reports whether the rule inspects the file at the given
+	// repo-relative path.
+	Applies func(path string) bool
+	// Check returns the rule's findings for one file. Allow-comment
+	// suppression is applied by the driver, not by Check.
+	Check func(f *File) []Diagnostic
+}
+
+// Rules is the authoritative rule table, in reporting order.
+var Rules = []*Rule{
+	ctxonlyRule,
+	errtaxonomyRule,
+	faultsiteRule,
+	goguardRule,
+	nopanicRule,
+}
+
+// pos converts a token.Pos into a Diagnostic at the file's logical path.
+func (f *File) pos(p token.Pos) (file string, line, col int) {
+	position := f.Fset.Position(p)
+	return f.Path, position.Line, position.Column
+}
+
+// diag builds a Diagnostic for the node position.
+func (f *File) diag(p token.Pos, rule, format string, args ...any) Diagnostic {
+	file, line, col := f.pos(p)
+	return Diagnostic{File: file, Line: line, Col: col, Rule: rule, Message: fmt.Sprintf(format, args...)}
+}
+
+// allowRE matches the escape hatch: //lint:allow rule1 rule2 [-- reason].
+var allowRE = regexp.MustCompile(`lint:allow\s+([a-z, ]+)`)
+
+// buildAllowed indexes //lint:allow comments by line.
+func (f *File) buildAllowed() {
+	f.allowed = map[int]map[string]bool{}
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			m := allowRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := f.Fset.Position(c.Pos()).Line
+			set := f.allowed[line]
+			if set == nil {
+				set = map[string]bool{}
+				f.allowed[line] = set
+			}
+			for _, r := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ' ' || r == ',' }) {
+				set[strings.TrimSpace(r)] = true
+			}
+		}
+	}
+}
+
+// allowedAt reports whether rule is suppressed at line: an allow comment on
+// the same line or on the line directly above.
+func (f *File) allowedAt(line int, rule string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if set, ok := f.allowed[l]; ok && set[rule] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBuildTag reports whether the file carries a //go:build constraint
+// mentioning the given tag.
+func hasBuildTag(f *ast.File, tag string) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build") && strings.Contains(c.Text, tag) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// underAny reports whether the slash-separated path is beneath one of the
+// given directory prefixes.
+func underAny(path string, dirs ...string) bool {
+	for _, d := range dirs {
+		if strings.HasPrefix(path, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func isTestFile(path string) bool { return strings.HasSuffix(path, "_test.go") }
+
+// ParseFile parses one file into the shape rules consume. logical is the
+// repo-relative path used for scoping and reporting; filename is the on-disk
+// location (they differ in fixture tests).
+func ParseFile(fset *token.FileSet, logical, filename string, src any) (*File, error) {
+	af, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Path: logical, Fset: fset, AST: af}
+	f.buildAllowed()
+	return f, nil
+}
+
+// Check runs every applicable rule over one file and returns the surviving
+// (non-suppressed) findings.
+func Check(f *File) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range Rules {
+		if r.Applies != nil && !r.Applies(f.Path) {
+			continue
+		}
+		for _, d := range r.Check(f) {
+			if f.allowedAt(d.Line, d.Rule) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// skipDirs are never descended into during a repo walk.
+var skipDirs = map[string]bool{
+	".git":         true,
+	"testdata":     true,
+	"vendor":       true,
+	"node_modules": true,
+}
+
+// LintRepo lints every .go file under root (the module root) and returns the
+// findings sorted by file, line, column and rule. The fault-site registry is
+// extracted from root/internal/faultinject when present.
+func LintRepo(root string) ([]Diagnostic, error) {
+	reg, err := LoadRegistry(filepath.Join(root, "internal", "faultinject"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: loading fault-site registry: %w", err)
+	}
+	fset := token.NewFileSet()
+	var diags []Diagnostic
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skipDirs[d.Name()] || (strings.HasPrefix(d.Name(), ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		f, err := ParseFile(fset, rel, path, nil)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		f.Registry = reg
+		diags = append(diags, Check(f)...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod; it anchors repo-relative paths when merlinlint is invoked from a
+// subdirectory.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

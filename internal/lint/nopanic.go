@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// nopanicRule forbids panic() in the DP library core (internal/core,
+// internal/curve) outside functions that contain their own recover. The
+// engine boundary (recoverToErr in ConstructCtx/MerlinCtx) converts internal
+// panics into core.ErrInternal, but that containment only covers code
+// reachable through the boundary — a panic in a helper that a future caller
+// reaches directly is a process kill. Library code returns errors; deliberate
+// invariant panics that are provably contained carry a
+// `//lint:allow nopanic <why>` annotation naming their containment.
+//
+// Exempt: _test.go files, and files built under the merlin_invariants tag —
+// the runtime assertion layer is deliberately panicky and excluded from
+// production builds.
+//
+// Heuristic: a call to the panic builtin is a finding unless some enclosing
+// function (declaration or literal) has a top-level defer of a function
+// literal calling recover() or of a named function matching (?i)guard|recover.
+var nopanicRule = &Rule{
+	Name: "nopanic",
+	Doc:  "no panic() in internal/core and internal/curve outside recover-guarded functions",
+	Applies: func(path string) bool {
+		return !isTestFile(path) && underAny(path, "internal/core", "internal/curve")
+	},
+	Check: checkNoPanic,
+}
+
+func checkNoPanic(f *File) []Diagnostic {
+	if hasBuildTag(f.AST, "merlin_invariants") {
+		return nil
+	}
+	var out []Diagnostic
+	// guarded tracks, for the current traversal path, whether any enclosing
+	// function body carries a qualifying recover defer.
+	var walk func(n ast.Node, guarded bool)
+	walk = func(n ast.Node, guarded bool) {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				walk(v.Body, guarded || hasGuardDefer(v.Body))
+			}
+			return
+		case *ast.FuncLit:
+			walk(v.Body, guarded || hasGuardDefer(v.Body))
+			return
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "panic" && !guarded {
+				out = append(out, f.diag(v.Pos(), "nopanic",
+					"panic in DP library code: return an error, or annotate a provably contained invariant panic with //lint:allow nopanic <containment>"))
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, guarded)
+		}
+	}
+	walk(f.AST, false)
+	return out
+}
+
+// childNodes returns the direct AST children of n, preserving order.
+func childNodes(n ast.Node) []ast.Node {
+	var kids []ast.Node
+	root := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return true
+		}
+		if root {
+			root = false
+			return true // n itself: descend exactly one level
+		}
+		kids = append(kids, c)
+		return false // do not descend further; walk recurses explicitly
+	})
+	return kids
+}

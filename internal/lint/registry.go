@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Registry is the set of fault-injection sites the repository declares: the
+// `Site*` string constants of internal/faultinject. The faultsite rule checks
+// every site literal and constant reference against it, so a typo'd site name
+// — which would silently disarm a chaos test — becomes a lint failure.
+type Registry struct {
+	// Consts maps a Site constant's identifier to its string value
+	// (e.g. "SiteCoreConstruct" → "core.construct").
+	Consts map[string]string
+	// Values is the set of registered site strings.
+	Values map[string]bool
+}
+
+// LoadRegistry extracts the fault-site registry from the faultinject package
+// directory. A missing directory yields a nil registry (the faultsite rule
+// then skips), so merlinlint still works on trees without the package.
+func LoadRegistry(dir string) (*Registry, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	reg := &Registry{Consts: map[string]string{}, Values: map[string]bool{}}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		collectSiteConsts(af, reg)
+	}
+	return reg, nil
+}
+
+// collectSiteConsts records every top-level `const SiteX = "literal"`.
+func collectSiteConsts(af *ast.File, reg *Registry) {
+	for _, decl := range af.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				if !strings.HasPrefix(id.Name, "Site") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				reg.Consts[id.Name] = val
+				reg.Values[val] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+// Package fixture is a ctxonly fixture: blocking non-Ctx engine entry points
+// from serving code. Checked with the logical path internal/service/bad.go.
+// Parse-only — identifiers need not resolve.
+package fixture
+
+func bad() {
+	res, err := flows.Run(fl, nt, prof)              // want ctxonly
+	_, _ = flows.RunAll(nt, prof)                    // want ctxonly
+	_, _ = en.Construct(ord)                         // want ctxonly
+	_ = core.Merlin(nt, cands, lib, tech, opts, nil) // want ctxonly
+	_, _ = res, err
+}

@@ -1,0 +1,20 @@
+// Package fixture is the clean ctxonly fixture: Ctx entry points, the escape
+// hatch, and receivers the rule must not confuse with the flows package.
+package fixture
+
+func good(ctx myctx) {
+	res, err := flows.RunCtx(ctx, fl, nt, prof)
+	_, _ = flows.RunAllCtx(ctx, nt, prof)
+	_, _ = en.ConstructCtx(ctx, ord)
+	_ = core.MerlinCtx(ctx, nt, cands, lib, tech, opts, nil)
+
+	// The escape hatch: a justified blocking call.
+	r, _ := flows.Run(fl, nt, prof) //lint:allow ctxonly -- startup path, no ctx yet
+	//lint:allow ctxonly -- line-above form
+	r2, _ := flows.Run(fl, nt, prof)
+
+	// Run on a non-flows receiver is some other API, not the engine.
+	_ = pool.Run(job)
+
+	_, _, _, _ = res, err, r, r2
+}

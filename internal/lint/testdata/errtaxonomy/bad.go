@@ -1,0 +1,11 @@
+// Package fixture is an errtaxonomy fixture: ad-hoc 5xx responses from
+// internal/service that bypass the designated taxonomy writer in http.go.
+// Checked with the logical path internal/service/bad.go.
+package fixture
+
+func bad(w http.ResponseWriter) {
+	http.Error(w, "boom", 500)                    // want errtaxonomy
+	w.WriteHeader(502)                            // want errtaxonomy
+	w.WriteHeader(http.StatusInternalServerError) // want errtaxonomy
+	w.WriteHeader(http.StatusServiceUnavailable)  // want errtaxonomy
+}

@@ -1,0 +1,16 @@
+// Package fixture is the clean errtaxonomy fixture: the sanctioned writer,
+// non-5xx statuses, and computed statuses the rule cannot judge.
+package fixture
+
+func good(s *server, w http.ResponseWriter, status int) {
+	s.writeError(w, r, errSomething)
+
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusNotFound)
+	w.WriteHeader(404)
+
+	// A computed status is the writer's own business.
+	w.WriteHeader(status)
+
+	w.WriteHeader(500) //lint:allow errtaxonomy -- health endpoint, deliberate raw status
+}

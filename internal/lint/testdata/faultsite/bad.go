@@ -1,0 +1,13 @@
+// Package fixture is a faultsite fixture: site names that match nothing in
+// the registry, so the fault they mean to arm would never fire. The test
+// supplies a fake registry with core.construct / service.worker /
+// service.handler.
+package fixture
+
+func bad() {
+	_ = faultinject.Fire("core.constrcut")                       // want faultsite
+	faultinject.Arm("service.wroker", faultinject.Fault{})       // want faultsite
+	faultinject.Disarm("no.such.site")                           // want faultsite
+	_ = faultinject.Fire(faultinject.SiteDoesNotExist)           // want faultsite
+	_ = faultinject.Set("core.construct=panic,bogus.site=error") // want faultsite
+}

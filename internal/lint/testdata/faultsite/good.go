@@ -1,0 +1,18 @@
+// Package fixture is the clean faultsite fixture: registered names in every
+// checked form, plus dynamic expressions that are out of syntactic reach.
+package fixture
+
+func good(site string) {
+	_ = faultinject.Fire(faultinject.SiteCoreConstruct)
+	_ = faultinject.Fire("core.construct")
+	faultinject.Arm("service.worker", faultinject.Fault{})
+	faultinject.Disarm("service.handler")
+	_ = faultinject.Set("core.construct=panic@0.5,service.handler=delay:1ms")
+
+	// Dynamic site names cannot be checked syntactically.
+	_ = faultinject.Fire(site)
+	_ = faultinject.Fire("prefix." + site)
+
+	// Same method names on another package are not fault injection.
+	_ = other.Fire("whatever")
+}

@@ -1,0 +1,31 @@
+// Package fixture is the clean goguard fixture: every accepted guard shape.
+package fixture
+
+func good(s *server) {
+	// Deferred literal that calls recover().
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				logPanic(r)
+			}
+		}()
+		work()
+	}()
+
+	// Deferred named guard (method form).
+	go func() {
+		defer s.guardPanic("flush")
+		work()
+	}()
+
+	// Deferred named guard (function form, "recover" in the name).
+	go func() {
+		defer recoverToLog("flush")
+		work()
+	}()
+
+	// A named function is the callee's concern, not the spawn site's.
+	go named()
+
+	go func() { work() }() //lint:allow goguard -- dies with the process by design
+}

@@ -1,0 +1,22 @@
+// Package fixture is a nopanic fixture: panics in DP library code outside
+// any recover-guarded function. Checked with the logical path
+// internal/core/bad.go.
+package fixture
+
+func bad(x int) {
+	if x < 0 {
+		panic("negative") // want nopanic
+	}
+}
+
+func alsoBad() {
+	f := func() {
+		panic("inner literal, no guard anywhere") // want nopanic
+	}
+	f()
+}
+
+func deferIsNotAGuard() {
+	defer flush()            // a defer, but not a recover guard
+	panic("still unguarded") // want nopanic
+}

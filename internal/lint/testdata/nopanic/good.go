@@ -1,0 +1,31 @@
+// Package fixture is the clean nopanic fixture: recover-guarded boundaries
+// and the justified escape hatch.
+package fixture
+
+func guardedByLiteral() {
+	defer func() {
+		if r := recover(); r != nil {
+			logPanic(r)
+		}
+	}()
+	panic("contained by the deferred recover above")
+}
+
+func guardedByName() (err error) {
+	defer recoverToErr(&err)
+	panic("contained by the named guard")
+}
+
+func innerInheritsGuard() {
+	defer func() { _ = recover() }()
+	f := func() {
+		panic("the enclosing function is guarded")
+	}
+	f()
+}
+
+func allowed(n int) {
+	if n < 0 {
+		panic("caller bug") //lint:allow nopanic -- contained at the engine boundary
+	}
+}

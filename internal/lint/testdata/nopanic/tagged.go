@@ -1,0 +1,11 @@
+//go:build merlin_invariants
+
+// Package fixture: files under the merlin_invariants build tag ARE the
+// assertion layer — panicking is their job, so nopanic exempts them.
+package fixture
+
+func assertSomething(ok bool) {
+	if !ok {
+		panic("merlin_invariants: assertion failed")
+	}
+}

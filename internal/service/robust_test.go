@@ -281,7 +281,7 @@ func TestDrainPath(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
 	s := New(Config{
-		Workers: 1,
+		Workers:    1,
 		onJobStart: func() { started <- struct{}{}; <-release },
 	})
 	ts := httptest.NewServer(s.Handler())

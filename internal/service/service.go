@@ -104,8 +104,8 @@ type job struct {
 	req  *RouteRequest
 	prof flows.Profile
 	flow flows.ID
-	key  string // result-cache key
-	eng  string // engine-cache key
+	key  string         // result-cache key
+	eng  string         // engine-cache key
 	done chan jobResult // buffered(1): the worker never blocks on delivery
 }
 
@@ -196,11 +196,12 @@ func (s *Server) Batch(ctx context.Context, breq *BatchRequest) []BatchItem {
 	items := make([]BatchItem, len(breq.Nets))
 	var wg sync.WaitGroup
 	for i, n := range breq.Nets {
+		i, rr := i, breq.routeRequest(n)
 		wg.Add(1)
-		go func(i int, rr *RouteRequest) {
+		s.goGuard("batch", func() {
 			defer wg.Done()
 			items[i] = s.routeItem(ctx, i, rr)
-		}(i, breq.routeRequest(n))
+		})
 	}
 	wg.Wait()
 	return items
@@ -212,25 +213,59 @@ func (s *Server) BatchStream(ctx context.Context, breq *BatchRequest) <-chan Bat
 	out := make(chan BatchItem)
 	var wg sync.WaitGroup
 	for i, n := range breq.Nets {
+		i, rr := i, breq.routeRequest(n)
 		wg.Add(1)
-		go func(i int, rr *RouteRequest) {
+		s.goGuard("batch", func() {
 			defer wg.Done()
 			out <- s.routeItem(ctx, i, rr)
-		}(i, breq.routeRequest(n))
+		})
 	}
-	go func() {
+	s.goGuard("batch.close", func() {
 		wg.Wait()
 		close(out)
-	}()
+	})
 	return out
 }
 
-func (s *Server) routeItem(ctx context.Context, i int, rr *RouteRequest) BatchItem {
+// routeItem is panic-safe: a panic while routing one batch item becomes that
+// item's error, not a zero-valued item (the goGuard above it would keep the
+// process alive but could not attribute the failure to the right index).
+func (s *Server) routeItem(ctx context.Context, i int, rr *RouteRequest) (item BatchItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.met.inc("panics")
+			log.Printf("service: contained batch-item panic: %v\n%s", r, debug.Stack())
+			item = BatchItem{Index: i, Error: fmt.Errorf("%w: contained batch panic: %v", ErrInternal, r).Error()}
+		}
+	}()
 	resp, err := s.Route(ctx, rr)
 	if err != nil {
 		return BatchItem{Index: i, Error: err.Error()}
 	}
 	return BatchItem{Index: i, Result: resp}
+}
+
+// goGuard spawns fn on its own goroutine behind the shared panic guard: an
+// unguarded goroutine panic would kill the whole process, bypassing every
+// containment layer PR 2 built. All service goroutines that are not worker
+// bodies (those have runJobGuarded) go through here.
+func (s *Server) goGuard(name string, fn func()) {
+	go func() {
+		defer s.guardPanic(name)
+		fn()
+	}()
+}
+
+// guardPanic is the last-resort recover for service goroutines: it records
+// the stack, bumps the panics metric, and lets the goroutine die quietly
+// instead of taking the process with it. Deferred directly by goGuard.
+func (s *Server) guardPanic(name string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	s.met.inc("panics")
+	log.Printf("service: contained %s goroutine panic: %v\n%s", name, r, debug.Stack())
 }
 
 // submit enqueues a job unless the server is draining or the queue is full.
@@ -260,10 +295,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	drained := make(chan struct{})
-	go func() {
+	s.goGuard("drain", func() {
 		s.inflight.Wait()
 		close(drained)
-	}()
+	})
 	select {
 	case <-drained:
 	case <-ctx.Done():

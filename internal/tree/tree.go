@@ -259,12 +259,14 @@ func (t *Tree) Evaluate(tech rc.Technology, drv rc.Gate) Eval {
 			return
 		case KindBuffer:
 			d := n.Buffer.Delay(driven[n], slew)
+			assertFiniteDelay(d, "tree.Evaluate: buffer delay")
 			delay += d
 			slew = n.Buffer.SlewOut(driven[n])
 		}
 		for _, c := range n.Children {
 			wl := geom.Dist(n.Pos, c.Pos)
 			el := tech.WireElmore(wl, seen[c])
+			assertFiniteDelay(el, "tree.Evaluate: wire Elmore")
 			down(c, delay+el, tech.WireSlewOut(slew, el))
 		}
 	}
@@ -328,12 +330,15 @@ func (t *Tree) PathDelays(tech rc.Technology, rootSlew float64) (loadAtSource fl
 			per[n.SinkIdx] = PathTiming{Delay: delay, Slew: slew}
 			return
 		case KindBuffer:
-			delay += n.Buffer.Delay(driven[n], slew)
+			d := n.Buffer.Delay(driven[n], slew)
+			assertFiniteDelay(d, "tree.PathDelays: buffer delay")
+			delay += d
 			slew = n.Buffer.SlewOut(driven[n])
 		}
 		for _, c := range n.Children {
 			wl := geom.Dist(n.Pos, c.Pos)
 			el := tech.WireElmore(wl, seen[c])
+			assertFiniteDelay(el, "tree.PathDelays: wire Elmore")
 			down(c, delay+el, tech.WireSlewOut(slew, el))
 		}
 	}
