@@ -19,17 +19,21 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrent surface: the merlind service (worker pool,
-# caches, graceful shutdown, 32-way concurrent e2e) and the core engine's
-# one-engine-per-goroutine contract. Full-repo -race is accurate too but
-# slow; these packages are where concurrency actually lives. TestChaos is
-# skipped here because the chaos target runs it on its own.
+# caches, brownout controller, graceful shutdown, 32-way concurrent e2e),
+# the degradation ladder, and the core engine's one-engine-per-goroutine
+# contract. Full-repo -race is accurate too but slow; these packages are
+# where concurrency actually lives. TestChaos* is skipped here because the
+# chaos target runs the storms on their own.
 race:
-	$(GO) test -race -skip TestChaos ./internal/service/... ./cmd/merlind/...
+	$(GO) test -race -skip TestChaos ./internal/service/... ./internal/degrade/... ./cmd/merlind/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
 
-# The fault-injection storm: 240 concurrent good/bad/huge requests with
-# panics and errors injected into the worker pool and the DP, under the race
-# detector, with healthz probed throughout. See internal/service/chaos_test.go.
+# The fault-injection storms: 240 concurrent good/bad/huge/degradable
+# requests with panics and errors injected into the worker pool, the DP, and
+# the ladder rungs (TestChaos), plus a sustained 5x-queue overload that must
+# brown out into degraded 200s and recover (TestChaosOverload) — both under
+# the race detector with healthz probed throughout. The -run prefix matches
+# both. See internal/service/chaos_test.go.
 chaos:
 	$(GO) test -race -run TestChaos ./internal/service/
 
@@ -44,8 +48,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-invariant static analysis: go vet first (cheap, catches the
-# universal mistakes), then merlinlint's five repo-specific rules (ctxonly,
-# goguard, faultsite, errtaxonomy, nopanic). Non-zero exit on any finding;
+# universal mistakes), then merlinlint's six repo-specific rules (ctxonly,
+# goguard, faultsite, errtaxonomy, ladderonly, nopanic). Non-zero exit on
+# any finding;
 # see DESIGN.md "Static analysis & runtime invariants".
 lint: vet
 	$(GO) run ./cmd/merlinlint .
@@ -54,7 +59,7 @@ lint: vet
 # layer compiled in: frontier non-inferiority/sort order, Cα-tree shape and
 # finite Elmore delays are checked at runtime and panic on violation.
 invariants:
-	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/...
+	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/... ./internal/degrade/...
 
 verify: build test lint race chaos fuzz invariants
 

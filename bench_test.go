@@ -14,6 +14,7 @@ import (
 
 	"merlin/internal/core"
 	"merlin/internal/curve"
+	"merlin/internal/degrade"
 	"merlin/internal/expt"
 	"merlin/internal/flows"
 	"merlin/internal/geom"
@@ -291,6 +292,45 @@ func BenchmarkServiceBatch(b *testing.B) {
 			b.ReportMetric(float64(numNets)*float64(b.N)/b.Elapsed().Seconds(), "nets/s")
 		})
 	}
+}
+
+// BenchmarkLadderDegraded prices the degradation ladder: each forced rung
+// measured alone (what a brownout level costs/saves per answer, with the
+// achieved driver required time attached as a quality metric), plus the
+// fall-through case where a solution budget no DP rung can satisfy makes the
+// ladder pay for two failed attempts before a constructive rung serves.
+func BenchmarkLadderDegraded(b *testing.B) {
+	prof := flows.ProfileFor(10)
+	prof.Core.MaxLoops = 1
+	n := net.Generate(net.DefaultGenSpec(10, 42), prof.Tech, prof.Lib.Driver)
+	for _, tier := range degrade.Tiers() {
+		b.Run("tier="+tier.String(), func(b *testing.B) {
+			var req float64
+			for i := 0; i < b.N; i++ {
+				res, err := (degrade.Ladder{}).Solve(context.Background(),
+					degrade.Request{Net: n, Profile: prof, Start: tier, Floor: tier})
+				if err != nil {
+					b.Fatal(err)
+				}
+				req = res.Eval.ReqAtDriverInput
+			}
+			b.ReportMetric(req, "req-ps")
+		})
+	}
+	b.Run("fallthrough=budget", func(b *testing.B) {
+		p := prof
+		p.Core.Budget = core.Budget{MaxSolutions: 3}
+		for i := 0; i < b.N; i++ {
+			res, err := (degrade.Ladder{}).Solve(context.Background(),
+				degrade.Request{Net: n, Profile: p, Start: degrade.TierFull, Floor: degrade.TierVanGin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Degraded {
+				b.Fatalf("budget fall-through served tier %s undegraded", res.Tier)
+			}
+		}
+	})
 }
 
 // BenchmarkCurveOps measures the DP's innermost data structure.

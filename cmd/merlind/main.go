@@ -7,6 +7,7 @@
 //
 //	merlind [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 60s] [-maxsinks 64]
+//	        [-brownout 100ms] [-brownout-drain 2s]
 //	merlind -smoke [-target http://host:port]
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops accepting,
@@ -44,13 +45,17 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		smoke    = flag.Bool("smoke", false, "run an end-to-end smoke test instead of serving")
 		target   = flag.String("target", "", "server URL for -smoke (empty = in-process server)")
+		brownout = flag.Duration("brownout", 0,
+			"overload-controller sampling interval (0 = 100ms, negative disables brownout)")
+		brownoutDrain = flag.Duration("brownout-drain", 0,
+			"estimated queue-drain time that triggers brownout degradation (0 = 2s)")
 	)
 	flag.Parse()
 	var err error
 	if *smoke {
 		err = runSmoke(*target, 5*time.Minute)
 	} else {
-		err = run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain)
+		err = run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain, *brownout, *brownoutDrain)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlind:", err)
@@ -58,13 +63,15 @@ func main() {
 	}
 }
 
-func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks int, drain time.Duration) error {
+func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks int, drain, brownout, brownoutDrain time.Duration) error {
 	srv := service.New(service.Config{
-		Workers:        workers,
-		QueueDepth:     queue,
-		CacheSize:      cache,
-		DefaultTimeout: timeout,
-		MaxSinks:       maxSinks,
+		Workers:          workers,
+		QueueDepth:       queue,
+		CacheSize:        cache,
+		DefaultTimeout:   timeout,
+		MaxSinks:         maxSinks,
+		BrownoutInterval: brownout,
+		BrownoutMaxDrain: brownoutDrain,
 	})
 	hs := &http.Server{
 		Addr:              addr,

@@ -101,6 +101,23 @@ func runSmoke(target string, timeout time.Duration) error {
 		return fmt.Errorf("over-budget probe: want 422 budget_exceeded, got %v", err)
 	}
 
+	// The same impossible budget with allow_degraded must instead fall down
+	// the degradation ladder to a rung that fits and answer 200 with a
+	// truthful tier annotation.
+	deg, err := cl.Route(ctx, &service.RouteRequest{
+		Net:           net.Generate(net.DefaultGenSpec(8, 5), prof.Tech, prof.Lib.Driver),
+		Budget:        &service.Budget{MaxSolutions: 5},
+		AllowDegraded: true,
+		NoCache:       true,
+	})
+	if err != nil {
+		return fmt.Errorf("degraded probe: %w", err)
+	}
+	if !deg.Degraded || deg.Tier == "full" || deg.Tier == "" || deg.Tree == nil {
+		return fmt.Errorf("degraded probe: want a degraded 200 with a lower tier, got tier=%q degraded=%v", deg.Tier, deg.Degraded)
+	}
+	log.Printf("merlind: smoke degraded route ok (tier %s, quality %.2f)", deg.Tier, deg.Quality)
+
 	stats, err := cl.Stats(ctx)
 	if err != nil {
 		return fmt.Errorf("stats: %w", err)

@@ -29,6 +29,17 @@ var ErrInternal = errors.New("core: internal error")
 // budgets rather than hope. Serving layers map it to 422.
 var ErrBudgetExceeded = errors.New("core: resource budget exceeded")
 
+// ErrBudgetSolutions and ErrBudgetWallTime refine ErrBudgetExceeded with
+// which bound tripped. Both satisfy errors.Is(err, ErrBudgetExceeded), so
+// existing callers keep working; callers that care (the degradation ladder,
+// the HTTP taxonomy) can tell "the problem is too big" (MaxSolutions — a
+// retry with the same budget is pointless) from "the problem is too slow"
+// (MaxWallTime — a cheaper tier or a later retry may still fit).
+var (
+	ErrBudgetSolutions = fmt.Errorf("%w: solution budget", ErrBudgetExceeded)
+	ErrBudgetWallTime  = fmt.Errorf("%w: wall-time budget", ErrBudgetExceeded)
+)
+
 // Budget bounds one construction's resource usage. The zero value is
 // unlimited; any field set to a positive value is enforced.
 type Budget struct {
@@ -89,11 +100,11 @@ func (en *Engine) checkBudget() error {
 	b := en.Opts.Budget
 	if b.MaxSolutions > 0 && en.budgetUsed > b.MaxSolutions {
 		return fmt.Errorf("%w: %d solutions retained, budget %d (n=%d, α=%d)",
-			ErrBudgetExceeded, en.budgetUsed, b.MaxSolutions, en.Net.N(), en.Opts.Alpha)
+			ErrBudgetSolutions, en.budgetUsed, b.MaxSolutions, en.Net.N(), en.Opts.Alpha)
 	}
 	if b.MaxWallTime > 0 {
 		if elapsed := time.Since(en.budgetStart); elapsed > b.MaxWallTime {
-			return fmt.Errorf("%w: %v elapsed, budget %v", ErrBudgetExceeded, elapsed.Round(time.Millisecond), b.MaxWallTime)
+			return fmt.Errorf("%w: %v elapsed, budget %v", ErrBudgetWallTime, elapsed.Round(time.Millisecond), b.MaxWallTime)
 		}
 	}
 	return nil

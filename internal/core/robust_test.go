@@ -49,6 +49,15 @@ func TestBudgetMaxSolutions(t *testing.T) {
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
 	}
+	// The specific bound that tripped must be identifiable ("too big" vs
+	// "too slow" take different remedies), without breaking the umbrella
+	// sentinel existing callers match on.
+	if !errors.Is(err, ErrBudgetSolutions) {
+		t.Fatalf("err = %v, want ErrBudgetSolutions", err)
+	}
+	if errors.Is(err, ErrBudgetWallTime) {
+		t.Error("solution-budget abort also matches the wall-time sentinel")
+	}
 	// The abort must come within one check interval of the bound. The
 	// largest uncheck-able stretch is the initialization phase (all length-1
 	// sub-groups) plus one (L,E,R) sub-problem: ≤ (4·n + 1)·k·MaxSols
@@ -71,6 +80,12 @@ func TestBudgetWallTime(t *testing.T) {
 	_, err := en.Merlin(nil)
 	if !errors.Is(err, ErrBudgetExceeded) {
 		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, ErrBudgetWallTime) {
+		t.Fatalf("err = %v, want ErrBudgetWallTime", err)
+	}
+	if errors.Is(err, ErrBudgetSolutions) {
+		t.Error("wall-time abort also matches the solution-budget sentinel")
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		t.Error("wall-time budget leaked a context deadline error")

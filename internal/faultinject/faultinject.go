@@ -204,4 +204,11 @@ const (
 	// SiteServiceHandler fires at the top of every HTTP request; a panic here
 	// must be contained by the handler middleware.
 	SiteServiceHandler = "service.handler"
+	// SiteDegradeLadder fires at the top of Ladder.Solve, before any tier
+	// runs; a panic here must be contained by the worker guard.
+	SiteDegradeLadder = "degrade.ladder"
+	// SiteDegradeTier fires as each ladder tier starts; a panic here must be
+	// contained by the per-tier guard and make the ladder fall down a rung
+	// instead of failing the request.
+	SiteDegradeTier = "degrade.tier"
 )

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ladderonlyRule forbids serving code from calling the degradation ladder's
+// lower-rung solvers directly. internal/service, pkg/client and cmd/ reach
+// lttree.Solve / vangin.Insert only through internal/degrade's Ladder: the
+// ladder is where tier accounting, per-rung wall-time slicing and per-tier
+// panic containment live, and a direct call silently produces an answer
+// with no tier annotation and no budget discipline.
+//
+// Heuristic (syntactic, no type info): a call whose callee is a selector
+// on a receiver identifier named lttree or vangin. internal/flows and
+// internal/degrade are out of scope — they are the rungs' sanctioned
+// call sites. _test.go files are exempt: tests legitimately compare rungs
+// directly against the ladder path.
+var ladderonlyRule = &Rule{
+	Name: "ladderonly",
+	Doc:  "serving code must reach lttree/vangin only through internal/degrade's ladder",
+	Applies: func(path string) bool {
+		return !isTestFile(path) && underAny(path, "internal/service", "pkg/client", "cmd")
+	},
+	Check: checkLadderOnly,
+}
+
+// ladderonlyPkgs are the lower-rung solver packages, by import identifier.
+var ladderonlyPkgs = map[string]bool{
+	"lttree": true,
+	"vangin": true,
+}
+
+func checkLadderOnly(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || !ladderonlyPkgs[recv.Name] {
+			return true
+		}
+		out = append(out, f.diag(call.Pos(), "ladderonly",
+			"direct %s.%s call from serving code: route it through internal/degrade's Ladder so tier accounting, budget slicing and per-tier panic containment apply", recv.Name, sel.Sel.Name))
+		return true
+	})
+	return out
+}

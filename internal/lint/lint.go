@@ -23,6 +23,9 @@
 //	nopanic     no panic() in internal/core and internal/curve library code
 //	            outside recover-guarded functions (assertion files built under
 //	            the merlin_invariants tag are exempt by design)
+//	ladderonly  serving code reaches the degradation ladder's lower-rung
+//	            solvers (lttree, vangin) only through internal/degrade, so
+//	            tier accounting and budget slicing cannot be bypassed
 package lint
 
 import (
@@ -91,6 +94,7 @@ var Rules = []*Rule{
 	errtaxonomyRule,
 	faultsiteRule,
 	goguardRule,
+	ladderonlyRule,
 	nopanicRule,
 }
 

@@ -70,6 +70,7 @@ func TestFixtures(t *testing.T) {
 		{rule: "faultsite", logical: "internal/chaos", reg: fakeRegistry()},
 		{rule: "errtaxonomy", logical: "internal/service"},
 		{rule: "nopanic", logical: "internal/core"},
+		{rule: "ladderonly", logical: "internal/service"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -129,6 +130,8 @@ func TestFixtureExactPositions(t *testing.T) {
 		{rule: "errtaxonomy", logical: "internal/service", line: 7, col: 2},
 		// the panic call, two tabs in.
 		{rule: "nopanic", logical: "internal/core", line: 8, col: 3},
+		// call.Pos() of lttree.Solve after `t, err := `.
+		{rule: "ladderonly", logical: "internal/service", line: 7, col: 12},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -214,6 +217,8 @@ func TestLoadRegistry(t *testing.T) {
 		"SiteCoreConstruct":  "core.construct",
 		"SiteServiceWorker":  "service.worker",
 		"SiteServiceHandler": "service.handler",
+		"SiteDegradeLadder":  "degrade.ladder",
+		"SiteDegradeTier":    "degrade.tier",
 	} {
 		if got := reg.Consts[name]; got != val {
 			t.Errorf("Consts[%s] = %q, want %q", name, got, val)

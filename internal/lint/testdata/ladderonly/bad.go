@@ -1,0 +1,10 @@
+// Package fixture is a ladderonly fixture: direct lower-rung solver calls
+// from serving code. Checked with the logical path internal/service/bad.go.
+// Parse-only — identifiers need not resolve.
+package fixture
+
+func bad() {
+	t, err := lttree.Solve(nt, lib, tech, opts, cands) // want ladderonly
+	_, _, _ = vangin.Insert(t, lib, tech, vg)          // want ladderonly
+	_, _ = t, err
+}

@@ -1,0 +1,18 @@
+// Package fixture is the clean ladderonly fixture: the sanctioned ladder
+// entry point, the escape hatch, and receivers the rule must not confuse
+// with the lower-rung solver packages.
+package fixture
+
+func good(ctx myctx) {
+	res, err := degrade.Ladder{}.Solve(ctx, req)
+	_, _ = res, err
+
+	// The escape hatch: a justified direct rung call.
+	t, _ := lttree.Solve(nt, lib, tech, opts, cands) //lint:allow ladderonly -- offline calibration, no tier accounting wanted
+	//lint:allow ladderonly -- line-above form
+	_, _, _ = vangin.Insert(t, lib, tech, vg)
+
+	// Solve/Insert on other receivers are different APIs, not the rungs.
+	_, _, _ = solver.Solve(ord)
+	_ = q.Insert(item)
+}

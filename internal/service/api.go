@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"merlin/internal/core"
+	"merlin/internal/degrade"
 	"merlin/internal/flows"
 	"merlin/internal/net"
 	"merlin/internal/tree"
@@ -54,6 +55,16 @@ type RouteRequest struct {
 	// Budget bounds this request's compute resources; nil uses the server
 	// defaults. Exceeding a budget returns 422 (code "budget_exceeded").
 	Budget *Budget `json:"budget,omitempty"`
+	// AllowDegraded admits degraded answers (Flow III only): when the full
+	// MERLIN search exhausts its budget slice, panics, or the server is
+	// browning out under load, the request is served by a cheaper ladder
+	// tier (nobubble → lttree → vangin) instead of failing. The response's
+	// tier/degraded fields report what actually ran.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
+	// MinTier bounds how far down the ladder a degraded answer may come
+	// from: "full", "nobubble", "lttree" or "vangin" (the default floor when
+	// AllowDegraded is set). Requires AllowDegraded.
+	MinTier string `json:"min_tier,omitempty"`
 }
 
 // Budget is the wire form of a per-request resource budget. It bounds
@@ -89,6 +100,18 @@ type RouteResponse struct {
 	Frontier           []FrontierPoint `json:"frontier,omitempty"`
 	RuntimeMS          float64         `json:"runtime_ms"`
 	Cached             bool            `json:"cached"`
+	// Tier is the degradation-ladder rung that produced this answer (Flow
+	// III only): "full", "nobubble", "lttree" or "vangin".
+	Tier string `json:"tier,omitempty"`
+	// Degraded reports that a rung below full served the answer.
+	Degraded bool `json:"degraded,omitempty"`
+	// Quality is the serving tier's expected solution quality relative to
+	// full (1.0); pair it with req_at_driver_input_ns / buffer_area_lambda2
+	// to judge the answer itself.
+	Quality float64 `json:"quality,omitempty"`
+	// TiersAttempted lists every ladder rung tried, best first, including
+	// the one that served.
+	TiersAttempted []string `json:"tiers_attempted,omitempty"`
 }
 
 // TreeNode is the wire form of one buffered-routing-tree vertex.
@@ -126,6 +149,10 @@ type BatchRequest struct {
 	Stream    bool  `json:"stream,omitempty"`
 	// Budget applies per net, like TimeoutMS.
 	Budget *Budget `json:"budget,omitempty"`
+	// AllowDegraded and MinTier apply per net, like TimeoutMS; degraded
+	// items carry their tier in the (possibly streamed) BatchItem result.
+	AllowDegraded bool   `json:"allow_degraded,omitempty"`
+	MinTier       string `json:"min_tier,omitempty"`
 }
 
 // BatchItem is one per-net outcome; exactly one of Result and Error is set.
@@ -146,6 +173,7 @@ func (b *BatchRequest) routeRequest(n *net.Net) *RouteRequest {
 		Net: n, Flow: b.Flow, Alpha: b.Alpha, MaxCands: b.MaxCands,
 		AreaBudget: b.AreaBudget, ReqFloor: b.ReqFloor, MaxLoops: b.MaxLoops,
 		TimeoutMS: b.TimeoutMS, NoCache: b.NoCache, Budget: b.Budget,
+		AllowDegraded: b.AllowDegraded, MinTier: b.MinTier,
 	}
 }
 
@@ -223,8 +251,42 @@ func (s *Server) prepare(req *RouteRequest) (flows.Profile, flows.ID, error) {
 		return flows.Profile{}, 0, err
 	}
 	p.Core.Budget = b
+	if _, err := ladderFloor(req, fl); err != nil {
+		return flows.Profile{}, 0, err
+	}
 	return p, fl, nil
 }
+
+// ladderFloor resolves the request's degradation knobs to the lowest
+// ladder tier it admits: TierFull (no degradation) unless AllowDegraded,
+// then MinTier or the bottom rung. The knobs are Flow III-only — the
+// sequential flows ARE the lower rungs, so degrading them is meaningless.
+func ladderFloor(req *RouteRequest, fl flows.ID) (degrade.Tier, error) {
+	if !req.AllowDegraded {
+		if req.MinTier != "" {
+			return 0, fmt.Errorf("%w: min_tier requires allow_degraded", ErrBadRequest)
+		}
+		return degrade.TierFull, nil
+	}
+	if fl != flows.FlowIII {
+		return 0, fmt.Errorf("%w: allow_degraded applies to flow III only", ErrBadRequest)
+	}
+	if req.MinTier == "" {
+		return degrade.TierVanGin, nil
+	}
+	t, err := degrade.ParseTier(req.MinTier)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return t, nil
+}
+
+// tieredKey is the result-cache key of one (request, served tier) pair: the
+// degradation knobs themselves stay out of cacheKeys — a full-tier answer
+// is a full-tier answer whether or not the request would have accepted
+// less — but the tier that actually served is part of the result identity.
+// Non-ladder flows (I, II) use the empty tier.
+func tieredKey(key, tier string) string { return key + "|" + tier }
 
 // resolveBudget folds the request's budget (if any) over the server-wide
 // default and clamps the result to the hard cap, so one request can lower

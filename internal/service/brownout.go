@@ -1,0 +1,94 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"merlin/internal/degrade"
+)
+
+// brownout is the adaptive overload controller: a sampling loop that shifts
+// incoming degradable work down the degradation ladder before the bounded
+// queue saturates, so 429 + Retry-After becomes the last resort instead of
+// the first. It never touches requests that do not allow degradation —
+// those keep the PR 2 contract (full quality or a structured rejection).
+//
+// The control signal is deliberately simple: queue utilization (depth over
+// capacity) plus an estimate of how long the current backlog takes to drain
+// at the serving tier's observed latency (EWMA). Either crossing its
+// threshold raises the brownout level one rung immediately; recovery
+// requires BrownoutCooldown consecutive calm samples per rung, so a bursty
+// arrival process cannot flap the tier sample to sample.
+type brownout struct {
+	cfg   Config
+	level atomic.Int32 // current admission tier for degradable requests
+	calm  int          // consecutive calm samples (loop-local; only the sampler touches it)
+}
+
+func newBrownout(cfg Config) *brownout { return &brownout{cfg: cfg} }
+
+// tier is the ladder rung degradable requests are admitted at right now.
+func (b *brownout) tier() degrade.Tier { return degrade.Tier(b.level.Load()) }
+
+// brownoutLoop samples until Shutdown closes stopBrown. It runs under
+// goGuard (started in New), so a panic here is contained like any other
+// service goroutine's.
+func (s *Server) brownoutLoop() {
+	tick := time.NewTicker(s.cfg.BrownoutInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopBrown:
+			return
+		case <-tick.C:
+			s.brownoutSample()
+		}
+	}
+}
+
+// brownoutSample takes one control decision. Exposed as a method (not
+// inlined in the loop) so tests can drive the controller deterministically
+// without waiting out wall-clock intervals.
+func (s *Server) brownoutSample() {
+	b := s.brown
+	util := float64(len(s.jobs)) / float64(s.cfg.QueueDepth)
+	cur := b.tier()
+	drain := s.drainEstimate(cur)
+	switch {
+	case util >= s.cfg.BrownoutHighWater || drain > s.cfg.BrownoutMaxDrain:
+		b.calm = 0
+		if cur < degrade.TierVanGin {
+			b.level.Store(int32(cur) + 1)
+			s.met.inc("brownout.raised")
+		}
+	case util <= s.cfg.BrownoutLowWater:
+		if cur == degrade.TierFull {
+			return
+		}
+		b.calm++
+		if b.calm >= s.cfg.BrownoutCooldown {
+			b.calm = 0
+			b.level.Store(int32(cur) - 1)
+			s.met.inc("brownout.lowered")
+		}
+	default:
+		// Between the watermarks: hold the level, reset the calm streak.
+		b.calm = 0
+	}
+}
+
+// drainEstimate is how long the current backlog takes to clear at the
+// serving tier's observed latency: depth × EWMA(tier latency) / workers.
+// With no per-tier history yet it falls back to the all-flows mean, and
+// with no history at all to zero (never degrade on pure speculation).
+func (s *Server) drainEstimate(t degrade.Tier) time.Duration {
+	ms := s.met.ewma("tier_" + t.String())
+	if ms <= 0 {
+		ms = s.met.meanLatencyMS("flow_")
+	}
+	if ms <= 0 {
+		return 0
+	}
+	perWorker := float64(len(s.jobs)) * ms / float64(s.cfg.Workers)
+	return time.Duration(perWorker * float64(time.Millisecond))
+}

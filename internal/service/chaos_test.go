@@ -62,11 +62,13 @@ func TestChaos(t *testing.T) {
 		}
 	}
 
-	// Low-probability panics in the worker pool and errors inside the DP:
-	// every request that reaches a worker has a chance of drawing a
-	// contained 500.
+	// Low-probability panics in the worker pool, errors inside the DP, and
+	// panics inside individual ladder rungs: every request that reaches a
+	// worker has a chance of drawing a contained 500, and every degradable
+	// request a chance of falling down a rung mid-ladder.
 	faultinject.Arm(faultinject.SiteServiceWorker, faultinject.Fault{Mode: faultinject.ModePanic, Prob: 0.05})
 	faultinject.Arm(faultinject.SiteCoreConstruct, faultinject.Fault{Mode: faultinject.ModeError, Prob: 0.02})
+	faultinject.Arm(faultinject.SiteDegradeTier, faultinject.Fault{Mode: faultinject.ModePanic, Prob: 0.05})
 
 	cl := client.New(ts.URL,
 		client.WithMaxRetries(5),
@@ -108,8 +110,14 @@ func TestChaos(t *testing.T) {
 			defer cancel()
 			switch i % 4 {
 			case 0, 1: // good: warmed seeds → cache hits; every 8th bypasses
-				// the cache so full jobs keep flowing through the workers
-				errs <- chaosGood(ctx, cl, int64(i%goodSeeds), i%16 == 0)
+				// the cache so full jobs keep flowing through the workers,
+				// and every 8th (offset) rides the degradation ladder with
+				// rung panics armed
+				if i%8 == 1 {
+					errs <- chaosDegraded(ctx, cl, int64(i%goodSeeds))
+				} else {
+					errs <- chaosGood(ctx, cl, int64(i%goodSeeds), i%16 == 0)
+				}
 			case 2: // bad or oversized: raw posts that must classify cleanly
 				if i%8 == 2 {
 					errs <- chaosOversized(ts.URL)
@@ -171,6 +179,31 @@ func chaosGood(ctx context.Context, cl *client.Client, seed int64, noCache bool)
 	return nil
 }
 
+// chaosDegraded routes a degradable request with ladder-rung panics armed:
+// the ladder must either serve some rung truthfully annotated or fail
+// contained. NoCache forces a real ladder run every time.
+func chaosDegraded(ctx context.Context, cl *client.Client, seed int64) error {
+	resp, err := cl.Route(ctx, &service.RouteRequest{
+		Net: chaosNet(6, seed), MaxLoops: 1, NoCache: true, AllowDegraded: true,
+	})
+	if err != nil {
+		return allowCodes(err, "internal", "queue_full")
+	}
+	if resp.Tree == nil {
+		return fmt.Errorf("degradable request: 200 with no tree")
+	}
+	if resp.Tier == "" {
+		return fmt.Errorf("degradable request: 200 with no tier annotation")
+	}
+	if resp.Degraded == (resp.Tier == "full") {
+		return fmt.Errorf("degradable request: degraded=%v contradicts tier=%q", resp.Degraded, resp.Tier)
+	}
+	if resp.Quality <= 0 || resp.Quality > 1 {
+		return fmt.Errorf("degradable request: quality %v out of (0,1]", resp.Quality)
+	}
+	return nil
+}
+
 // chaosHuge routes a net whose DP cannot fit a 5-solution budget (the init
 // phase alone retains one solution per sink, so the abort lands at the first
 // checkpoint — cheap, which is what lets the storm run 60 of these); the
@@ -207,6 +240,167 @@ func chaosOversized(base string) error {
 		return nil
 	}
 	return wantErrorBody(resp, http.StatusRequestEntityTooLarge, "payload_too_large")
+}
+
+// TestChaosOverload is the sustained-overload phase: a burst of degradable
+// requests far exceeding the queue drives the brownout controller down the
+// ladder, which must convert would-be 429 storms into degraded 200s — 429 +
+// Retry-After stays the last resort, not the first. No faults are armed; the
+// overload itself is the adversary. After the load drops the controller must
+// recover to the full tier and a fresh probe must be served undegraded.
+// `make chaos` runs this together with TestChaos (-run TestChaos prefix).
+func TestChaosOverload(t *testing.T) {
+	faultinject.Reset() // belt and braces: this phase is fault-free
+
+	s := service.New(service.Config{
+		Workers:          2,
+		QueueDepth:       12,
+		BrownoutInterval: 3 * time.Millisecond,
+	})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cl := client.New(ts.URL,
+		client.WithMaxRetries(20),
+		client.WithBackoff(10*time.Millisecond, 250*time.Millisecond),
+		client.WithSeed(2))
+
+	// healthz prober: brownout or not, the server stays live.
+	done := make(chan struct{})
+	probeErr := make(chan error, 1)
+	go func() {
+		defer close(probeErr)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			err := cl.Healthz(ctx)
+			cancel()
+			if err != nil {
+				probeErr <- fmt.Errorf("healthz failed under overload: %w", err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	// The storm: every request is degradable, bypasses the cache (distinct
+	// seeds and NoCache), and arrives at once — 5x the queue capacity.
+	const requests = 60
+	var (
+		mu         sync.Mutex
+		served     int
+		degraded   int
+		tiersSeen  = map[string]int{}
+		hardErrs   []error
+		queueFulls int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			resp, err := cl.Route(ctx, &service.RouteRequest{
+				Net: chaosNet(7, int64(100+i)), MaxLoops: 1, NoCache: true, AllowDegraded: true,
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if e := allowCodes(err, "queue_full"); e != nil {
+					hardErrs = append(hardErrs, fmt.Errorf("request %d: %w", i, e))
+				} else {
+					queueFulls++
+				}
+				return
+			}
+			served++
+			switch {
+			case resp.Tree == nil:
+				hardErrs = append(hardErrs, fmt.Errorf("request %d: 200 with no tree", i))
+			case resp.Tier == "":
+				hardErrs = append(hardErrs, fmt.Errorf("request %d: 200 with no tier", i))
+			case resp.Degraded == (resp.Tier == "full"):
+				hardErrs = append(hardErrs, fmt.Errorf("request %d: degraded=%v contradicts tier=%q", i, resp.Degraded, resp.Tier))
+			default:
+				tiersSeen[resp.Tier]++
+				if resp.Degraded {
+					degraded++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(done)
+	if err, ok := <-probeErr; ok && err != nil {
+		t.Error(err)
+	}
+	for _, err := range hardErrs {
+		t.Error(err)
+	}
+	// The acceptance bar: at least 95% of degradable requests come back 200
+	// with a valid tree. Retry-exhausted queue_full is tolerated for the
+	// remainder; anything else already failed above.
+	if served < requests*95/100 {
+		t.Errorf("served %d/%d (queue_full after retries: %d), want >= 95%%", served, requests, queueFulls)
+	}
+	if degraded == 0 {
+		t.Error("overload produced no degraded answers; brownout controller never sheared load")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters["panics"] != 0 {
+		t.Errorf("panics = %d during a fault-free overload, want 0", stats.Counters["panics"])
+	}
+	if stats.Brownout.Raised == 0 {
+		t.Error("brownout.raised = 0 under 5x queue overload")
+	}
+	lower := uint64(0)
+	for tier, nServed := range stats.TiersServed {
+		if tier != "full" {
+			lower += nServed
+		}
+	}
+	if lower == 0 {
+		t.Errorf("tiers_served = %v reports no below-full answers, but %d responses were degraded", stats.TiersServed, degraded)
+	}
+
+	// Recovery: with the load gone the controller must walk back to full.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		stats, err = cl.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Brownout.Level == 0 && stats.Brownout.Tier == "full" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("brownout stuck at tier %s (level %d) 30s after the load dropped", stats.Brownout.Tier, stats.Brownout.Level)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := cl.Route(ctx, &service.RouteRequest{
+		Net: chaosNet(7, 7777), MaxLoops: 1, NoCache: true, AllowDegraded: true,
+	})
+	if err != nil {
+		t.Fatalf("post-recovery probe failed: %v", err)
+	}
+	if resp.Degraded || resp.Tier != "full" {
+		t.Errorf("post-recovery probe served tier %q degraded=%v, want full/false", resp.Tier, resp.Degraded)
+	}
+	t.Logf("overload: %d/%d served (%d degraded, %d queue_full), tiers %v, brownout raised %d lowered %d",
+		served, requests, degraded, queueFulls, stats.TiersServed, stats.Brownout.Raised, stats.Brownout.Lowered)
 }
 
 func wantErrorBody(resp *http.Response, status int, code string) error {

@@ -178,16 +178,22 @@ type ErrorBody struct {
 
 // writeError maps the service error taxonomy onto HTTP:
 //
-//	400 bad_request        ErrBadRequest — malformed or invalid request
-//	413 payload_too_large  body exceeded maxBodyBytes
-//	422 budget_exceeded    core.ErrBudgetExceeded — problem outgrew its budget
-//	429 queue_full         ErrQueueFull — bounded queue rejected the request;
-//	                       Retry-After carries a drain estimate
-//	503 shutting_down      ErrShuttingDown — server is draining
-//	503 canceled           client went away mid-request
-//	504 timeout            per-request compute deadline exceeded
-//	500 internal           ErrInternal / core.ErrInternal — contained panic
-//	                       or other server-side failure
+//	400 bad_request             ErrBadRequest — malformed or invalid request
+//	413 payload_too_large       body exceeded maxBodyBytes
+//	422 budget_exceeded         core.ErrBudgetSolutions (or a generic
+//	                            core.ErrBudgetExceeded) — the problem is too
+//	                            big for its budget; same bytes won't fit later
+//	422 budget_exceeded_wall    core.ErrBudgetWallTime — too slow, not too
+//	                            big: the wall-time budget ran out; a bigger
+//	                            budget, a quieter server, or allow_degraded
+//	                            could still serve this request
+//	429 queue_full              ErrQueueFull — bounded queue rejected the
+//	                            request; Retry-After carries a drain estimate
+//	503 shutting_down           ErrShuttingDown — server is draining
+//	503 canceled                client went away mid-request
+//	504 timeout                 per-request compute deadline exceeded
+//	500 internal                ErrInternal / core.ErrInternal — contained
+//	                            panic or other server-side failure
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := classifyError(err)
 	if status == http.StatusTooManyRequests {
@@ -203,6 +209,10 @@ func classifyError(err error) (status int, code string) {
 		return http.StatusRequestEntityTooLarge, "payload_too_large"
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, core.ErrBudgetWallTime):
+		// Checked before the generic sentinel it wraps: "too slow" and "too
+		// big" call for different client reactions (see the taxonomy above).
+		return http.StatusUnprocessableEntity, "budget_exceeded_wall"
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return http.StatusUnprocessableEntity, "budget_exceeded"
 	case errors.Is(err, ErrQueueFull):

@@ -11,6 +11,7 @@ type metrics struct {
 	mu       sync.Mutex
 	counters map[string]uint64
 	hists    map[string]*histogram
+	ewmas    map[string]float64
 }
 
 // latencyBoundsMS are the histogram bucket upper bounds in milliseconds; an
@@ -26,7 +27,37 @@ type histogram struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{counters: make(map[string]uint64), hists: make(map[string]*histogram)}
+	return &metrics{
+		counters: make(map[string]uint64),
+		hists:    make(map[string]*histogram),
+		ewmas:    make(map[string]float64),
+	}
+}
+
+// ewmaAlpha weights new samples in the exponentially weighted moving
+// averages: ~0.2 means the last ~5 samples dominate, tracking load shifts
+// within a second of traffic while smoothing per-request noise — the
+// responsiveness the brownout controller wants from its latency signal
+// (histograms keep the full distribution; the EWMA answers "what does a
+// job cost right now").
+const ewmaAlpha = 0.2
+
+// observeEWMA folds one sample into the named moving average.
+func (m *metrics) observeEWMA(name string, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.ewmas[name]; ok {
+		m.ewmas[name] = prev + ewmaAlpha*(v-prev)
+	} else {
+		m.ewmas[name] = v
+	}
+}
+
+// ewma reads the named moving average; 0 when it has no samples yet.
+func (m *metrics) ewma(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ewmas[name]
 }
 
 func (m *metrics) inc(name string) { m.add(name, 1) }

@@ -79,6 +79,10 @@ func TestBudgetMaxSinksRejectsBeforeCompute(t *testing.T) {
 	}
 }
 
+// TestBudgetWallTimeExceeded: the wall-time bound reports its own code —
+// "too slow" (budget_exceeded_wall), distinct from MaxSolutions' "too big"
+// (budget_exceeded) — so clients and the degradation ladder can react
+// differently (a cheaper tier can still fit a too-slow problem).
 func TestBudgetWallTimeExceeded(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Shutdown(context.Background())
@@ -87,7 +91,7 @@ func TestBudgetWallTimeExceeded(t *testing.T) {
 
 	wantError(t, ts.URL+"/v1/route",
 		&RouteRequest{Net: testNet(t, 20, 11), Budget: &Budget{MaxWallMS: 1}},
-		http.StatusUnprocessableEntity, "budget_exceeded")
+		http.StatusUnprocessableEntity, "budget_exceeded_wall")
 }
 
 func TestBudgetNegativeFieldsAre400(t *testing.T) {

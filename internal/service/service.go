@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"merlin/internal/core"
+	"merlin/internal/degrade"
 	"merlin/internal/faultinject"
 	"merlin/internal/flows"
 )
@@ -47,6 +48,26 @@ type Config struct {
 	// 8,000,000; negative disables the cap.
 	MaxSolutionsCap int
 
+	// BrownoutInterval is how often the overload controller samples queue
+	// utilization and per-tier latency; default 100ms, negative disables the
+	// controller entirely (requests then degrade only reactively, on their
+	// own budget exhaustion).
+	BrownoutInterval time.Duration
+	// BrownoutHighWater is the queue-utilization fraction at which the
+	// controller shifts admission one ladder tier down; default 0.75.
+	BrownoutHighWater float64
+	// BrownoutLowWater is the utilization fraction below which a sample
+	// counts as calm; default 0.25.
+	BrownoutLowWater float64
+	// BrownoutCooldown is how many consecutive calm samples recover one
+	// tier back up; default 5. Raising is immediate, lowering is damped, so
+	// oscillating load cannot flap the serving tier per sample.
+	BrownoutCooldown int
+	// BrownoutMaxDrain is the estimated queue-drain time (depth × current-
+	// tier latency EWMA / workers) above which the controller degrades even
+	// below the high-water mark; default 2s.
+	BrownoutMaxDrain time.Duration
+
 	// onJobStart, when set (tests only), runs as a worker picks up a job —
 	// it lets shutdown and queue tests pin a job as provably in flight.
 	onJobStart func()
@@ -77,6 +98,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxSolutionsCap == 0 {
 		c.MaxSolutionsCap = 8_000_000
 	}
+	if c.BrownoutInterval == 0 {
+		c.BrownoutInterval = 100 * time.Millisecond
+	}
+	if c.BrownoutHighWater == 0 {
+		c.BrownoutHighWater = 0.75
+	}
+	if c.BrownoutLowWater == 0 {
+		c.BrownoutLowWater = 0.25
+	}
+	if c.BrownoutCooldown == 0 {
+		c.BrownoutCooldown = 5
+	}
+	if c.BrownoutMaxDrain == 0 {
+		c.BrownoutMaxDrain = 2 * time.Second
+	}
 	return c
 }
 
@@ -100,13 +136,14 @@ type jobResult struct {
 }
 
 type job struct {
-	ctx  context.Context
-	req  *RouteRequest
-	prof flows.Profile
-	flow flows.ID
-	key  string         // result-cache key
-	eng  string         // engine-cache key
-	done chan jobResult // buffered(1): the worker never blocks on delivery
+	ctx   context.Context
+	req   *RouteRequest
+	prof  flows.Profile
+	flow  flows.ID
+	floor degrade.Tier   // lowest ladder tier the request admits
+	key   string         // result-cache key (tier suffix applied at Put)
+	eng   string         // engine-cache key (tier suffix applied per rung)
+	done  chan jobResult // buffered(1): the worker never blocks on delivery
 }
 
 // Server is the routing service: a bounded job queue feeding a fixed worker
@@ -124,6 +161,10 @@ type Server struct {
 	inflight  sync.WaitGroup // accepted jobs not yet finished
 	workers   sync.WaitGroup
 	closeJobs sync.Once
+
+	brown     *brownout
+	stopBrown chan struct{}
+	stopOnce  sync.Once
 }
 
 // New starts a server's worker pool and returns it ready to serve.
@@ -136,9 +177,14 @@ func New(cfg Config) *Server {
 		met:   newMetrics(),
 		start: time.Now(),
 	}
+	s.brown = newBrownout(cfg)
+	s.stopBrown = make(chan struct{})
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
+	}
+	if cfg.BrownoutInterval > 0 {
+		s.goGuard("brownout", s.brownoutLoop)
 	}
 	return s
 }
@@ -160,17 +206,21 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
 		defer cancel()
 	}
+	floor, err := ladderFloor(req, fl)
+	if err != nil {
+		return nil, err
+	}
 	key, eng := cacheKeys(req, fl, prof)
 	if !req.NoCache {
-		if v, ok := s.cache.Get(key); ok {
+		if v, ok := s.cacheLookup(key, fl, floor); ok {
 			s.met.inc("cache.hits")
-			hit := *v.(*RouteResponse) // shallow copy; cached responses are immutable
+			hit := *v // shallow copy; cached responses are immutable
 			hit.Cached = true
 			return &hit, nil
 		}
 		s.met.inc("cache.misses")
 	}
-	j := &job{ctx: ctx, req: req, prof: prof, flow: fl, key: key, eng: eng, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, req: req, prof: prof, flow: fl, floor: floor, key: key, eng: eng, done: make(chan jobResult, 1)}
 	if err := s.submit(j); err != nil {
 		return nil, err
 	}
@@ -180,7 +230,9 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 			return nil, r.err
 		}
 		if !req.NoCache {
-			s.cache.Put(key, r.resp)
+			// The tier that actually served is part of the result identity:
+			// a degraded answer must never satisfy a full-tier request.
+			s.cache.Put(tieredKey(key, r.resp.Tier), r.resp)
 		}
 		return r.resp, nil
 	case <-ctx.Done():
@@ -188,6 +240,25 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 		// done is buffered so its late delivery is dropped harmlessly.
 		return nil, fmt.Errorf("service: request aborted: %w", ctx.Err())
 	}
+}
+
+// cacheLookup probes the result cache tier by tier, best first: a cached
+// full-tier answer satisfies any request, a cached degraded answer only
+// satisfies requests whose floor admits its tier. Flows I and II have no
+// ladder and a single (empty-tier) slot.
+func (s *Server) cacheLookup(key string, fl flows.ID, floor degrade.Tier) (*RouteResponse, bool) {
+	if fl != flows.FlowIII {
+		if v, ok := s.cache.Get(tieredKey(key, "")); ok {
+			return v.(*RouteResponse), true
+		}
+		return nil, false
+	}
+	for t := degrade.TierFull; t <= floor; t++ {
+		if v, ok := s.cache.Get(tieredKey(key, t.String())); ok {
+			return v.(*RouteResponse), true
+		}
+	}
+	return nil, false
 }
 
 // Batch runs every net of the request through the pool concurrently and
@@ -294,6 +365,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopBrown) })
 	drained := make(chan struct{})
 	s.goGuard("drain", func() {
 		s.inflight.Wait()
@@ -343,7 +415,11 @@ func (s *Server) runJobGuarded(j *job, engines *lruCache) {
 		s.met.inc("panics")
 		s.met.inc("jobs.failed")
 		log.Printf("service: contained worker panic: %v\n%s", r, debug.Stack())
-		engines.Delete(j.eng)
+		// Engines are cached per (job, tier); any of them may be the one the
+		// panic corrupted, so evict them all.
+		for _, t := range degrade.Tiers() {
+			engines.Delete(tieredKey(j.eng, t.String()))
+		}
 		select {
 		// done is buffered(1) and runJob sends at most once, so this send
 		// only fills an empty buffer; the default arm is pure paranoia.
@@ -370,21 +446,54 @@ func (s *Server) runJob(j *job, engines *lruCache) {
 		return
 	}
 	start := time.Now()
-	var res flows.Result
+	var resp *RouteResponse
 	var err error
 	if j.flow == flows.FlowIII {
-		var en *core.Engine
-		if v, ok := engines.Get(j.eng); ok {
-			en = v.(*core.Engine)
-			s.met.inc("engine_cache.hits")
-		} else {
-			en = flows.NewEngineIII(j.req.Net, j.prof)
-			s.met.inc("engine_cache.misses")
-			engines.Put(j.eng, en)
+		// All Flow III work goes through the degradation ladder. An
+		// undegradable request (floor full) is a plain Flow III run; a
+		// degradable one starts at the brownout controller's serving tier
+		// and falls further on per-rung budget exhaustion or panic.
+		lres, lerr := degrade.Ladder{}.Solve(j.ctx, degrade.Request{
+			Net:     j.req.Net,
+			Profile: j.prof,
+			Start:   s.brown.tier(),
+			Floor:   j.floor,
+			EngineFor: func(t degrade.Tier, p flows.Profile) *core.Engine {
+				ek := tieredKey(j.eng, t.String())
+				if v, ok := engines.Get(ek); ok {
+					s.met.inc("engine_cache.hits")
+					return v.(*core.Engine)
+				}
+				en := flows.NewEngineIII(j.req.Net, p)
+				s.met.inc("engine_cache.misses")
+				engines.Put(ek, en)
+				return en
+			},
+		})
+		err = lerr
+		if lerr == nil {
+			resp = buildResponse(j.req, j.flow, lres.Result)
+			resp.Tier = lres.Tier.String()
+			resp.Degraded = lres.Degraded
+			resp.Quality = lres.Quality
+			for _, a := range lres.Attempts {
+				resp.TiersAttempted = append(resp.TiersAttempted, a.Tier.String())
+			}
+			tierName := lres.Tier.String()
+			s.met.inc("tier.served." + tierName)
+			if lres.Degraded {
+				s.met.inc("jobs.degraded")
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			s.met.observe("tier_"+tierName, ms)
+			s.met.observeEWMA("tier_"+tierName, ms)
 		}
-		res, err = flows.RunFlowIIIOn(j.ctx, en, j.prof)
 	} else {
+		var res flows.Result
 		res, err = flows.RunCtx(j.ctx, j.flow, j.req.Net, j.prof)
+		if err == nil {
+			resp = buildResponse(j.req, j.flow, res)
+		}
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -397,7 +506,7 @@ func (s *Server) runJob(j *job, engines *lruCache) {
 	}
 	s.met.inc("jobs.completed")
 	s.met.observe("flow_"+flowLabel(j.flow), float64(time.Since(start).Microseconds())/1000)
-	j.done <- jobResult{resp: buildResponse(j.req, j.flow, res)}
+	j.done <- jobResult{resp: resp}
 }
 
 // Stats is the /v1/stats document.
@@ -410,6 +519,22 @@ type Stats struct {
 	Counters      map[string]uint64         `json:"counters"`
 	Cache         CacheStats                `json:"cache"`
 	LatencyMS     map[string]HistogramStats `json:"latency_ms"`
+	// TiersServed counts answers per degradation-ladder tier.
+	TiersServed map[string]uint64 `json:"tiers_served"`
+	// Brownout is the overload controller's state.
+	Brownout BrownoutStats `json:"brownout"`
+}
+
+// BrownoutStats reports the overload controller on /v1/stats.
+type BrownoutStats struct {
+	// Tier is the ladder rung degradable requests are currently admitted
+	// at ("full" when not browning out).
+	Tier string `json:"tier"`
+	// Level is the same as Tier, numerically (0 = full).
+	Level int `json:"level"`
+	// Raised and Lowered count state transitions since start.
+	Raised  uint64 `json:"raised"`
+	Lowered uint64 `json:"lowered"`
 }
 
 // CacheStats summarizes the result cache.
@@ -433,6 +558,13 @@ func (s *Server) Stats() Stats {
 	if total := cs.Hits + cs.Misses; total > 0 {
 		cs.HitRate = float64(cs.Hits) / float64(total)
 	}
+	tiers := make(map[string]uint64)
+	for _, t := range degrade.Tiers() {
+		if n := counters["tier.served."+t.String()]; n > 0 {
+			tiers[t.String()] = n
+		}
+	}
+	bt := s.brown.tier()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
@@ -442,5 +574,12 @@ func (s *Server) Stats() Stats {
 		Counters:      counters,
 		Cache:         cs,
 		LatencyMS:     hists,
+		TiersServed:   tiers,
+		Brownout: BrownoutStats{
+			Tier:    bt.String(),
+			Level:   int(bt),
+			Raised:  counters["brownout.raised"],
+			Lowered: counters["brownout.lowered"],
+		},
 	}
 }

@@ -8,7 +8,13 @@
 // that mean "try later" (429 queue_full, 503 shutting_down/draining),
 // honoring the server's Retry-After hint when present. Anything else (400,
 // 413, 422, 500, 504) is a verdict about this request, not about timing, and
-// is returned immediately. Streaming batches are the one exception: once
+// is returned immediately. Two 422s deserve a different reaction than a
+// blind retry: "budget_exceeded" means the problem is too big for its
+// budget (resubmit with a bigger one), while "budget_exceeded_wall" means
+// it was too slow — resubmitting with AllowDegraded lets the server's
+// degradation ladder serve a cheaper tier instead of failing again (the
+// response's Tier/Degraded fields report what ran). Streaming batches are
+// the one exception to replay safety: once
 // NDJSON items have been consumed the request is no longer safely
 // replayable by the client (the caller has seen results), so mid-stream
 // failures are never retried — see BatchStream.
@@ -40,7 +46,8 @@ type APIError struct {
 	// Status is the HTTP status code.
 	Status int
 	// Code is the machine-readable error code ("bad_request",
-	// "budget_exceeded", "queue_full", ...; see the service error taxonomy).
+	// "budget_exceeded", "budget_exceeded_wall", "queue_full", ...; see the
+	// service error taxonomy).
 	Code string
 	// Message is the human-readable error text.
 	Message string
