@@ -1,14 +1,15 @@
-# Tier-1 verify is: make build test lint race chaos fuzz invariants
+# Tier-1 verify is: make build test lint race chaos fuzz invariants crash
 # (build + full test suite, static analysis — go vet then the project's own
 # merlinlint rule suite — the race detector over the concurrent packages, the
-# fault-injection chaos storm, short runs of the fuzz targets, and the DP
-# packages rebuilt and retested with the merlin_invariants assertion layer).
+# fault-injection chaos storm, short runs of the fuzz targets, the DP
+# packages rebuilt and retested with the merlin_invariants assertion layer,
+# and the SIGKILL crash-recovery drill over the durable-jobs journal).
 
 GO ?= go
 # How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint invariants chaos fuzz verify bench
+.PHONY: all build test race vet lint invariants chaos fuzz crash verify bench
 
 all: build
 
@@ -25,7 +26,7 @@ test:
 # where concurrency actually lives. TestChaos* is skipped here because the
 # chaos target runs the storms on their own.
 race:
-	$(GO) test -race -skip TestChaos ./internal/service/... ./internal/degrade/... ./cmd/merlind/...
+	$(GO) test -race -skip 'TestChaos|TestCrashRecovery' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./cmd/merlind/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
 
 # The fault-injection storms: 240 concurrent good/bad/huge/degradable
@@ -37,20 +38,31 @@ race:
 chaos:
 	$(GO) test -race -run TestChaos ./internal/service/
 
-# Short fuzz runs over the request-ingestion surface: arbitrary JSON through
-# net.Read/Validate, and the canonical fingerprint's determinism/totality.
-# `go test -fuzz` accepts one target per invocation, hence two runs.
+# Short fuzz runs over the byte-ingestion surfaces: arbitrary JSON through
+# net.Read/Validate, the canonical fingerprint's determinism/totality, and
+# arbitrary bytes through the journal's segment decoder and replay (never
+# panic, stop cleanly at the first invalid frame).
+# `go test -fuzz` accepts one target per invocation, hence separate runs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzNetRead -fuzztime $(FUZZTIME) ./internal/net/
 	$(GO) test -run '^$$' -fuzz FuzzCanon -fuzztime $(FUZZTIME) ./internal/net/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime $(FUZZTIME) ./internal/journal/
+
+# The crash-recovery drill: a re-exec'd durable server is SIGKILLed with
+# acknowledged jobs in flight, its journal tail torn and a stored result
+# bit-flipped, then recovery must replay, re-run every acknowledged job
+# exactly once, and quarantine (never serve) the corrupt result. Run under
+# the race detector; see internal/service/crash_test.go.
+crash:
+	$(GO) test -race -run 'TestCrashRecovery$$' ./internal/service/
 
 vet:
 	$(GO) vet ./...
 
 # Project-invariant static analysis: go vet first (cheap, catches the
-# universal mistakes), then merlinlint's six repo-specific rules (ctxonly,
-# goguard, faultsite, errtaxonomy, ladderonly, nopanic). Non-zero exit on
-# any finding;
+# universal mistakes), then merlinlint's seven repo-specific rules (ctxonly,
+# goguard, faultsite, errtaxonomy, journalonly, ladderonly, nopanic).
+# Non-zero exit on any finding;
 # see DESIGN.md "Static analysis & runtime invariants".
 lint: vet
 	$(GO) run ./cmd/merlinlint .
@@ -59,9 +71,9 @@ lint: vet
 # layer compiled in: frontier non-inferiority/sort order, Cα-tree shape and
 # finite Elmore delays are checked at runtime and panic on violation.
 invariants:
-	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/... ./internal/degrade/...
+	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/... ./internal/degrade/... ./internal/journal/...
 
-verify: build test lint race chaos fuzz invariants
+verify: build test lint race chaos fuzz invariants crash
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

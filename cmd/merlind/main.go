@@ -8,7 +8,14 @@
 //	merlind [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-timeout 60s] [-maxsinks 64]
 //	        [-brownout 100ms] [-brownout-drain 2s]
+//	        [-journal-dir DIR] [-fsync always|interval|never]
 //	merlind -smoke [-target http://host:port]
+//
+// -journal-dir enables durable jobs: POST /v1/jobs acknowledgments are
+// journaled to a crash-safe write-ahead log and results persist in a
+// checksummed store, both under DIR; on restart the journal is replayed and
+// every acknowledged-but-unfinished job runs again. -fsync trades
+// acknowledgment latency against crash-loss window (default "always").
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops accepting,
 // in-flight requests drain (bounded by -drain), then the process exits.
@@ -49,13 +56,17 @@ func main() {
 			"overload-controller sampling interval (0 = 100ms, negative disables brownout)")
 		brownoutDrain = flag.Duration("brownout-drain", 0,
 			"estimated queue-drain time that triggers brownout degradation (0 = 2s)")
+		journalDir = flag.String("journal-dir", "",
+			"directory for the job write-ahead log and persistent result store (empty disables durability)")
+		fsync = flag.String("fsync", "",
+			`journal fsync policy: "always", "interval" or "never" (default always)`)
 	)
 	flag.Parse()
 	var err error
 	if *smoke {
 		err = runSmoke(*target, 5*time.Minute)
 	} else {
-		err = run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain, *brownout, *brownoutDrain)
+		err = run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain, *brownout, *brownoutDrain, *journalDir, *fsync)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlind:", err)
@@ -63,8 +74,8 @@ func main() {
 	}
 }
 
-func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks int, drain, brownout, brownoutDrain time.Duration) error {
-	srv := service.New(service.Config{
+func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks int, drain, brownout, brownoutDrain time.Duration, journalDir, fsync string) error {
+	cfg := service.Config{
 		Workers:          workers,
 		QueueDepth:       queue,
 		CacheSize:        cache,
@@ -72,7 +83,19 @@ func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks
 		MaxSinks:         maxSinks,
 		BrownoutInterval: brownout,
 		BrownoutMaxDrain: brownoutDrain,
-	})
+		JournalDir:       journalDir,
+		Fsync:            fsync,
+	}
+	var srv *service.Server
+	if journalDir != "" {
+		var err error
+		if srv, err = service.NewDurable(cfg); err != nil {
+			return err
+		}
+		log.Printf("merlind: durable jobs enabled (journal %s, fsync %s)", journalDir, srv.FsyncPolicy())
+	} else {
+		srv = service.New(cfg)
+	}
 	hs := &http.Server{
 		Addr:              addr,
 		Handler:           srv.Handler(),

@@ -211,4 +211,19 @@ const (
 	// contained by the per-tier guard and make the ladder fall down a rung
 	// instead of failing the request.
 	SiteDegradeTier = "degrade.tier"
+	// SiteJournalAppend fires inside journal.Append before the frame write;
+	// an injected error additionally leaves a deliberately short (torn) write
+	// on disk, which replay must truncate away.
+	SiteJournalAppend = "journal.append"
+	// SiteJournalFsync fires inside the journal's fsync path; an injected
+	// error models a failing disk and must surface to the appender, never be
+	// swallowed as durable.
+	SiteJournalFsync = "journal.fsync"
+	// SiteJournalReplay fires at the top of journal.Replay; an injected error
+	// must abort recovery loudly rather than boot with partial state.
+	SiteJournalReplay = "journal.replay"
+	// SiteStoreRead fires inside Store.Get after the bytes are read; an
+	// injected error flips one payload bit (latent disk corruption), which
+	// the per-entry checksum must catch and quarantine, never serve.
+	SiteStoreRead = "store.read"
 )

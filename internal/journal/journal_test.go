@@ -1,0 +1,425 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"merlin/internal/faultinject"
+)
+
+// openReplay opens dir and replays, returning the journal, the replayed
+// payloads (snapshot first when present), and the replay stats.
+func openReplay(t *testing.T, dir string, opts Options) (*Journal, [][]byte, ReplayStats) {
+	t.Helper()
+	j, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var got [][]byte
+	stats, err := j.Replay(func(rec Record) error {
+		got = append(got, rec.Payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return j, got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, got, _ := openReplay(t, dir, Options{})
+	if len(got) != 0 {
+		t.Fatalf("fresh dir replayed %d records, want 0", len(got))
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("record-%03d", i))
+		want = append(want, p)
+		if err := j.Append(p); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, got, stats := openReplay(t, dir, Options{})
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Errorf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if stats.TruncatedBytes != 0 || stats.CorruptSegments != 0 || stats.SnapshotUsed {
+		t.Errorf("clean replay stats = %+v", stats)
+	}
+}
+
+func TestAppendBeforeReplayRefused(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append([]byte("x")); err != ErrReplayFirst {
+		t.Fatalf("Append before Replay: %v, want ErrReplayFirst", err)
+	}
+}
+
+func TestSegmentRolling(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: each ~40-byte frame overflows a 64-byte segment fast.
+	j, _, _ := openReplay(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 10; i++ {
+		if err := j.Append(bytes.Repeat([]byte{byte('a' + i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Segments < 3 {
+		t.Errorf("got %d segments, want several (rolling broken)", st.Segments)
+	}
+	j.Close()
+
+	j2, got, _ := openReplay(t, dir, Options{SegmentBytes: 64})
+	defer j2.Close()
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records across segments, want 10", len(got))
+	}
+}
+
+// TestTornTailTruncated simulates the crash the WAL exists for: a valid
+// history followed by half an appended frame. Replay must deliver the valid
+// records, truncate the tail, and a second replay must be byte-clean.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openReplay(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := j.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the newest segment: append a frame header promising 100 bytes but
+	// deliver only 7.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	newest := segs[len(segs)-1]
+	full := AppendFrame(nil, bytes.Repeat([]byte{0xEE}, 100))
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:frameHeader+7]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, got, stats := openReplay(t, dir, Options{})
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records, want 5", len(got))
+	}
+	if stats.TruncatedBytes != int64(frameHeader+7) {
+		t.Errorf("TruncatedBytes = %d, want %d", stats.TruncatedBytes, frameHeader+7)
+	}
+	// The tail is gone from disk: a fresh replay sees a clean segment.
+	j2.Close()
+	j3, got, stats := openReplay(t, dir, Options{})
+	defer j3.Close()
+	if len(got) != 5 || stats.TruncatedBytes != 0 {
+		t.Errorf("post-truncation replay: %d records, stats %+v", len(got), stats)
+	}
+}
+
+// TestCorruptMidSegmentSkipped: a flipped bit in an older (non-newest)
+// segment is corruption, not a torn write — the segment's tail is skipped
+// and counted, the other segments still replay, and nothing panics.
+func TestCorruptMidSegmentSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openReplay(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 9; i++ {
+		if err := j.Append(bytes.Repeat([]byte{byte('a' + i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nSegs := j.Stats().Segments
+	if nSegs < 3 {
+		t.Fatalf("want >=3 segments, got %d", nSegs)
+	}
+	j.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	victim := segs[0] // oldest: definitely not the newest segment
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeader] ^= 0x40 // corrupt the first record's payload
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, stats := openReplay(t, dir, Options{SegmentBytes: 64})
+	defer j2.Close()
+	if stats.CorruptSegments != 1 {
+		t.Errorf("CorruptSegments = %d, want 1", stats.CorruptSegments)
+	}
+	if stats.SkippedBytes != int64(len(data)) {
+		t.Errorf("SkippedBytes = %d, want %d (whole victim segment)", stats.SkippedBytes, len(data))
+	}
+	if len(got) >= 9 || len(got) == 0 {
+		t.Errorf("replayed %d records, want a nonzero subset after skipping the corrupt segment", len(got))
+	}
+	if stats.TruncatedBytes != 0 {
+		t.Error("mid-history corruption must not be treated as a torn tail")
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openReplay(t, dir, Options{SegmentBytes: 64})
+	for i := 0; i < 8; i++ {
+		if err := j.Append(bytes.Repeat([]byte{byte('0' + i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Snapshot([]byte("state-after-8")); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Post-snapshot records land in segments newer than the snapshot.
+	if err := j.Append([]byte("after-snap-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("after-snap-2")); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal")); len(segs) != 1 {
+		t.Errorf("compaction left %d segments, want 1", len(segs))
+	}
+	j.Close()
+
+	j2, got, stats := openReplay(t, dir, Options{SegmentBytes: 64})
+	if !stats.SnapshotUsed {
+		t.Fatal("replay ignored the snapshot")
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 (snapshot + 2 appends)", len(got))
+	}
+	if string(got[0]) != "state-after-8" {
+		t.Errorf("snapshot payload = %q", got[0])
+	}
+	if string(got[1]) != "after-snap-1" || string(got[2]) != "after-snap-2" {
+		t.Errorf("post-snapshot records = %q, %q", got[1], got[2])
+	}
+
+	// A second snapshot+append cycle must not reuse superseded seqs: history
+	// appended after it must still replay.
+	if err := j2.Snapshot([]byte("state-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append([]byte("after-snap-3")); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, got, _ := openReplay(t, dir, Options{SegmentBytes: 64})
+	defer j3.Close()
+	if len(got) != 2 || string(got[0]) != "state-2" || string(got[1]) != "after-snap-3" {
+		t.Fatalf("second cycle replayed %v", payloadStrings(got))
+	}
+}
+
+func payloadStrings(ps [][]byte) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}
+
+// TestCorruptSnapshotFallsBack: a snapshot that fails its checksum is moved
+// aside and replay falls back to the full segment history (here: none newer,
+// so the older snapshot).
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	j, _, _ := openReplay(t, dir, Options{})
+	if err := j.Snapshot([]byte("good-old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Snapshot([]byte("good-new")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Corrupt the newest snapshot; keep the older one intact by recreating it
+	// (Snapshot deletes older snapshots on success).
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want exactly 1 snapshot after compaction, got %d", len(snaps))
+	}
+	data, _ := os.ReadFile(snaps[0])
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(snaps[0], data, 0o644)
+
+	j2, got, stats := openReplay(t, dir, Options{})
+	defer j2.Close()
+	if stats.SnapshotUsed {
+		t.Error("corrupt snapshot was used")
+	}
+	if len(got) != 0 {
+		t.Errorf("replayed %d records, want 0 (no usable baseline)", len(got))
+	}
+	if _, err := os.Stat(snaps[0] + ".corrupt"); err != nil {
+		t.Errorf("corrupt snapshot not quarantined: %v", err)
+	}
+}
+
+// TestFsyncPolicies exercises all three policies end to end and checks the
+// fsync counters move (or don't) accordingly.
+func TestFsyncPolicies(t *testing.T) {
+	t.Run("always", func(t *testing.T) {
+		j, _, _ := openReplay(t, t.TempDir(), Options{Fsync: FsyncAlways})
+		defer j.Close()
+		for i := 0; i < 3; i++ {
+			if err := j.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := j.Stats(); st.Fsyncs < 3 {
+			t.Errorf("always: %d fsyncs for 3 appends", st.Fsyncs)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		j, _, _ := openReplay(t, t.TempDir(), Options{Fsync: FsyncNever})
+		defer j.Close()
+		for i := 0; i < 3; i++ {
+			if err := j.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := j.Stats(); st.Fsyncs != 0 {
+			t.Errorf("never: %d fsyncs, want 0", st.Fsyncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		j, _, _ := openReplay(t, t.TempDir(), Options{Fsync: FsyncEvery, FsyncInterval: 5 * time.Millisecond})
+		defer j.Close()
+		if err := j.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for j.Stats().Fsyncs == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("interval flusher never synced")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	})
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"", FsyncAlways, true},
+		{"always", FsyncAlways, true},
+		{"interval", FsyncEvery, true},
+		{"never", FsyncNever, true},
+		{"sometimes", "", false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseFsyncPolicy(%q) = (%q, %v), want (%q, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestInjectedShortWrite arms the journal.append fault site: the append must
+// fail AND leave a torn frame that the next replay truncates — the injected
+// failure is indistinguishable from a mid-write crash.
+func TestInjectedShortWrite(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	j, _, _ := openReplay(t, dir, Options{})
+	if err := j.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteJournalAppend, faultinject.Fault{Mode: faultinject.ModeError})
+	if err := j.Append([]byte("torn-record-payload")); err == nil {
+		t.Fatal("injected append did not fail")
+	}
+	faultinject.Reset()
+	j.Close()
+
+	j2, got, stats := openReplay(t, dir, Options{})
+	defer j2.Close()
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replayed %v, want just the good record", payloadStrings(got))
+	}
+	if stats.TruncatedBytes == 0 {
+		t.Error("short write left no torn tail to truncate")
+	}
+}
+
+// TestInjectedFsyncError: an armed journal.fsync site must surface to the
+// appender under FsyncAlways — the record is NOT acknowledged durable.
+func TestInjectedFsyncError(t *testing.T) {
+	defer faultinject.Reset()
+	j, _, _ := openReplay(t, t.TempDir(), Options{Fsync: FsyncAlways})
+	defer j.Close()
+	faultinject.Arm(faultinject.SiteJournalFsync, faultinject.Fault{Mode: faultinject.ModeError})
+	if err := j.Append([]byte("x")); err == nil {
+		t.Fatal("fsync failure swallowed; append acknowledged a non-durable record")
+	}
+}
+
+// TestInjectedReplayError: an armed journal.replay site must abort recovery.
+func TestInjectedReplayError(t *testing.T) {
+	defer faultinject.Reset()
+	j, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	faultinject.Arm(faultinject.SiteJournalReplay, faultinject.Fault{Mode: faultinject.ModeError})
+	if _, err := j.Replay(func(Record) error { return nil }); err == nil {
+		t.Fatal("injected replay fault did not abort recovery")
+	}
+}
+
+func TestClosedJournalRefusesEverything(t *testing.T) {
+	j, _, _ := openReplay(t, t.TempDir(), Options{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("x")); err != ErrClosed {
+		t.Errorf("Append after Close: %v", err)
+	}
+	if err := j.Snapshot([]byte("x")); err != ErrClosed {
+		t.Errorf("Snapshot after Close: %v", err)
+	}
+	if err := j.Close(); err != ErrClosed {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestRecordSizeBounds(t *testing.T) {
+	j, _, _ := openReplay(t, t.TempDir(), Options{})
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := j.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}

@@ -1,0 +1,183 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"merlin/internal/faultinject"
+)
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "deadbeef|full"
+	payload := []byte(`{"delay_ns": 1.25}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("Get = %q, want %q", got, payload)
+	}
+	if _, err := s.Get("no-such-key|full"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key: %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Writes != 1 || st.Hits != 1 || st.Reads != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestStoreOverwriteAndDelete(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k|", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k|", []byte("v2-longer")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k|")
+	if err != nil || string(got) != "v2-longer" {
+		t.Fatalf("after overwrite: %q, %v", got, err)
+	}
+	if err := s.Delete("k|"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k|"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("after delete: %v", err)
+	}
+	if err := s.Delete("k|"); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+// TestStoreCorruptionQuarantined is the store's core safety property: a
+// flipped bit is detected, the entry is moved into quarantine/ (never
+// served), and subsequent reads miss so the caller recomputes.
+func TestStoreCorruptionQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "cafebabe|nobubble"
+	if err := s.Put(key, []byte("precious result bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit on disk.
+	path := filepath.Join(dir, keyFile(key))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Get(key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt entry Get: %v, want ErrCorrupt", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineDir, keyFile(key))); err != nil {
+		t.Errorf("corrupt entry not in quarantine: %v", err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("quarantined entry still visible: %v", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Recompute-and-heal: a fresh Put under the same key serves again.
+	if err := s.Put(key, []byte("recomputed")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(key); err != nil || string(got) != "recomputed" {
+		t.Errorf("healed entry: %q, %v", got, err)
+	}
+}
+
+// TestStoreTruncatedAndForeignFiles: a half-written entry (no rename — Put
+// is atomic, but belt and braces) and a wrong-magic file both read as
+// corrupt, not as garbage payloads.
+func TestStoreTruncatedAndForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, keyFile("trunc|")), []byte("MRS1\x10\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("trunc|"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated entry: %v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, keyFile("foreign|")), []byte("not a store entry at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("foreign|"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("foreign file: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStoreInjectedBitFlip arms the store.read fault site: the injected
+// single-bit flip models latent disk corruption and must quarantine, never
+// serve.
+func TestStoreInjectedBitFlip(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("bitrot|full", []byte("pristine-on-disk")); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SiteStoreRead, faultinject.Fault{Mode: faultinject.ModeError})
+	if _, err := s.Get("bitrot|full"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("injected bit flip: %v, want ErrCorrupt", err)
+	}
+	faultinject.Reset()
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Errorf("Quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+func TestKeyFileSanitization(t *testing.T) {
+	got := keyFile("abc123|full")
+	if strings.ContainsAny(got, "|/\\") {
+		t.Errorf("keyFile left unsafe characters: %q", got)
+	}
+	if keyFile("../../etc/passwd") != ".._.._etc_passwd.res" {
+		t.Errorf("traversal not neutralized: %q", keyFile("../../etc/passwd"))
+	}
+	if keyFile("a|b") == keyFile("a_b") {
+		// Documented collision: fine for hex+tier keys, but keep it explicit.
+		t.Log("sanitization collides a|b with a_b (accepted for hex-digest keys)")
+	}
+}
+
+func TestStoreSizeBounds(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k|", nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := s.Put("k|", make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// journalonlyRule forbids raw durable-file IO in internal/service. Every
+// byte the service persists — WAL records, snapshots, stored results — goes
+// through internal/journal, which owns the CRC32C framing, the fsync policy,
+// atomic temp+rename writes, and the corruption-quarantine path. A raw
+// os.OpenFile / os.Create / os.WriteFile in serving code writes bytes a
+// crash can tear and a replay cannot verify, and a raw os.ReadFile serves
+// bytes no checksum ever vouched for.
+//
+// Heuristic (syntactic, no type info): a call whose callee is a selector on
+// the identifier os naming one of the file-IO entry points. Tests are
+// exempt — crash tests legitimately tear files on purpose.
+var journalonlyRule = &Rule{
+	Name: "journalonly",
+	Doc:  "internal/service must do durable file IO only through internal/journal",
+	Applies: func(path string) bool {
+		return !isTestFile(path) && underAny(path, "internal/service")
+	},
+	Check: checkJournalOnly,
+}
+
+// journalonlyFuncs are the os entry points that create, write or read files.
+var journalonlyFuncs = map[string]bool{
+	"OpenFile":  true,
+	"Create":    true,
+	"WriteFile": true,
+	"ReadFile":  true,
+}
+
+func checkJournalOnly(f *File) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || recv.Name != "os" || !journalonlyFuncs[sel.Sel.Name] {
+			return true
+		}
+		out = append(out, f.diag(call.Pos(), "journalonly",
+			"raw os.%s in serving code: durable bytes go through internal/journal, which owns checksumming, fsync policy and crash-safe replay", sel.Sel.Name))
+		return true
+	})
+	return out
+}

@@ -26,6 +26,9 @@
 //	ladderonly  serving code reaches the degradation ladder's lower-rung
 //	            solvers (lttree, vangin) only through internal/degrade, so
 //	            tier accounting and budget slicing cannot be bypassed
+//	journalonly internal/service does durable file IO only through
+//	            internal/journal, which owns checksumming, fsync policy and
+//	            crash-safe replay — never raw os.OpenFile/Create/WriteFile
 package lint
 
 import (
@@ -94,6 +97,7 @@ var Rules = []*Rule{
 	errtaxonomyRule,
 	faultsiteRule,
 	goguardRule,
+	journalonlyRule,
 	ladderonlyRule,
 	nopanicRule,
 }

@@ -71,6 +71,7 @@ func TestFixtures(t *testing.T) {
 		{rule: "errtaxonomy", logical: "internal/service"},
 		{rule: "nopanic", logical: "internal/core"},
 		{rule: "ladderonly", logical: "internal/service"},
+		{rule: "journalonly", logical: "internal/service"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -132,6 +133,8 @@ func TestFixtureExactPositions(t *testing.T) {
 		{rule: "nopanic", logical: "internal/core", line: 8, col: 3},
 		// call.Pos() of lttree.Solve after `t, err := `.
 		{rule: "ladderonly", logical: "internal/service", line: 7, col: 12},
+		// call.Pos() of os.OpenFile after `f, err := `.
+		{rule: "journalonly", logical: "internal/service", line: 7, col: 12},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -219,6 +222,10 @@ func TestLoadRegistry(t *testing.T) {
 		"SiteServiceHandler": "service.handler",
 		"SiteDegradeLadder":  "degrade.ladder",
 		"SiteDegradeTier":    "degrade.tier",
+		"SiteJournalAppend":  "journal.append",
+		"SiteJournalFsync":   "journal.fsync",
+		"SiteJournalReplay":  "journal.replay",
+		"SiteStoreRead":      "store.read",
 	} {
 		if got := reg.Consts[name]; got != val {
 			t.Errorf("Consts[%s] = %q, want %q", name, got, val)

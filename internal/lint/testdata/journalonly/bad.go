@@ -1,0 +1,12 @@
+// Package fixture is a journalonly fixture: raw durable-file IO in serving
+// code. Checked with the logical path internal/service/bad.go. Parse-only —
+// identifiers need not resolve.
+package fixture
+
+func bad() {
+	f, err := os.OpenFile("wal/seg-1.wal", flags, 0o644) // want journalonly
+	_ = os.WriteFile("store/result.res", data, 0o644)    // want journalonly
+	g, _ := os.Create("snap.tmp")                        // want journalonly
+	b, _ := os.ReadFile("wal/seg-1.wal")                 // want journalonly
+	_, _, _, _ = f, err, g, b
+}

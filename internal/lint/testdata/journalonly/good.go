@@ -1,0 +1,26 @@
+// Package fixture is the clean journalonly fixture: the sanctioned
+// internal/journal entry points, the escape hatch, and receivers the rule
+// must not confuse with package os.
+package fixture
+
+func good() {
+	j, err := journal.Open(dir, journal.Options{})
+	_ = j.Append(payload)
+	s, _ := journal.OpenStore(dir)
+	_ = s.Put(key, payload)
+	_, _ = s.Get(key)
+	_, _ = j, err
+
+	// Non-file os calls are fine; only the file-IO entry points are fenced.
+	_ = os.Getenv("MERLIN_FAULTS")
+	_ = os.Getpid()
+
+	// The escape hatch: a justified raw read.
+	b, _ := os.ReadFile(path) //lint:allow journalonly -- one-shot migration tool, verified by hand
+	//lint:allow journalonly -- line-above form
+	_ = os.WriteFile(path, b, 0o644)
+
+	// Same method names on other receivers are different APIs.
+	_, _ = fsys.ReadFile(name)
+	_ = w.Create(name)
+}

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	stdnet "net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"syscall"
+	"testing"
+	"time"
+
+	"merlin/internal/journal"
+	"merlin/internal/net"
+)
+
+// TestCrashRecovery is the durability acceptance test: a real merlind-shaped
+// process (this test binary re-exec'd) acknowledges async jobs into the WAL,
+// is SIGKILLed mid-flight, the parent injects the failure modes a crash
+// leaves behind — a torn final journal record and a flipped bit in a stored
+// result — and a fresh server over the same directory must:
+//
+//   - truncate the torn tail (visible in the replay stats);
+//   - recover every acknowledged job exactly once: same IDs, idempotency
+//     aliases intact, each reaching a terminal state;
+//   - quarantine the corrupted result and recompute it, never serve it.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test; skipped in -short")
+	}
+	dir := t.TempDir()
+
+	// --- Phase 1: child process accepts jobs, then dies by SIGKILL. ---
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashRecoveryChild$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"MERLIN_CRASH_CHILD=1",
+		"MERLIN_CRASH_DIR="+dir,
+		// One slow worker: the first job takes 400ms, so the jobs behind it
+		// are provably acknowledged-but-unfinished when the kill lands.
+		"MERLIN_FAULTS=service.worker=delay:400ms",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait()
+	}()
+
+	base := waitForChildURL(t, filepath.Join(dir, "url"))
+
+	// Submit jobs with distinct idempotency keys, plus one duplicate submit
+	// of the first key — the dedup must hold across the crash.
+	type acked struct {
+		id   string
+		idem string
+	}
+	var acks []acked
+	nets := make([]*net.Net, 5)
+	for i := range nets {
+		nets[i] = testNet(t, 6, int64(61+i))
+		st := submitChildJob(t, base, nets[i], fmt.Sprintf("crash-key-%d", i))
+		acks = append(acks, acked{id: st.ID, idem: st.IdempotencyKey})
+	}
+	dup := submitChildJob(t, base, nets[0], "crash-key-0")
+	if dup.ID != acks[0].id {
+		t.Fatalf("duplicate submit acked job %s, want %s", dup.ID, acks[0].id)
+	}
+
+	// Wait until the first job is done — its result is in the store — then
+	// kill without ceremony while later jobs are still queued behind the
+	// 400ms worker delay.
+	waitChildDone(t, base, acks[0].id, 30*time.Second)
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	killed = true
+	_ = cmd.Wait()
+
+	// --- Phase 2: inject what a crash can leave behind. ---
+	tearJournalTail(t, filepath.Join(dir, "wal"))
+	flipStoredResults(t, filepath.Join(dir, "store"))
+
+	// --- Phase 3: recover in-process and verify. ---
+	s, err := NewDurable(Config{Workers: 2, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer s.Shutdown(context.Background())
+
+	d := s.Stats().Durability
+	if d == nil {
+		t.Fatal("durable server reports no durability stats")
+	}
+	if d.ReplayTruncatedBytes == 0 {
+		t.Error("torn journal tail was not truncated on replay")
+	}
+
+	// Every acknowledged job is present exactly once and reaches a terminal,
+	// successful state (the requests were valid; at-least-once may re-run
+	// them but must not fail them).
+	seen := map[string]bool{}
+	for _, a := range acks {
+		st := waitTerminal(t, s, a.id, 60*time.Second)
+		if st.State != string(JobDone) {
+			t.Errorf("job %s recovered into state %s (%s %s), want done", a.id, st.State, st.Code, st.Error)
+		}
+		if seen[a.id] {
+			t.Errorf("job ID %s acknowledged twice", a.id)
+		}
+		seen[a.id] = true
+		got, err := s.JobStatus(a.id)
+		if err != nil || got.Result == nil || got.Result.Tree == nil {
+			t.Errorf("job %s: no checksum-verified result after recovery: %+v, %v", a.id, got, err)
+		}
+	}
+	// The idempotency mapping survived: resubmitting key 0 with the same
+	// body names the original job, never a new one.
+	re, created, err := s.SubmitJob(&RouteRequest{Net: nets[0]}, "crash-key-0")
+	if err != nil || created || re.ID != acks[0].id {
+		t.Errorf("post-crash resubmit: id=%s created=%v err=%v, want %s/false/nil", re.ID, created, err, acks[0].id)
+	}
+	// The flipped result was caught by its checksum: quarantined and
+	// recomputed, not served. (Every stored result was flipped, so at least
+	// one quarantine must have happened while re-serving results above.)
+	if q := s.store.Stats().Quarantined; q == 0 {
+		t.Error("no corrupted store entry was quarantined")
+	}
+}
+
+// TestCrashRecoveryChild is the re-exec'd victim process: a durable server
+// on an ephemeral port that publishes its URL and serves until killed. It is
+// a no-op unless MERLIN_CRASH_CHILD gates it in.
+func TestCrashRecoveryChild(t *testing.T) {
+	if os.Getenv("MERLIN_CRASH_CHILD") == "" {
+		t.Skip("crash-test child; only runs re-exec'd")
+	}
+	dir := os.Getenv("MERLIN_CRASH_DIR")
+	s, err := NewDurable(Config{Workers: 1, JournalDir: dir})
+	if err != nil {
+		t.Fatalf("child boot: %v", err)
+	}
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish atomically so the parent never reads a half-written URL.
+	tmp := filepath.Join(dir, "url.tmp")
+	if err := os.WriteFile(tmp, []byte("http://"+ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "url")); err != nil {
+		t.Fatal(err)
+	}
+	// Serve until SIGKILL; there is no graceful path out of this function.
+	_ = http.Serve(ln, s.Handler())
+}
+
+func waitForChildURL(t *testing.T, path string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never published its URL")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func submitChildJob(t *testing.T, base string, n *net.Net, idem string) *JobStatus {
+	t.Helper()
+	body, err := json.Marshal(&RouteRequest{Net: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", idem)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("child submit status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+func waitChildDone(t *testing.T, base, id string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == string(JobDone) {
+			return
+		}
+		if JobState(st.State).Terminal() {
+			t.Fatalf("child job %s ended %s (%s %s)", id, st.State, st.Code, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child job %s never finished", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// tearJournalTail appends a truncated frame to the newest WAL segment — the
+// exact artifact of a crash mid-append.
+func tearJournalTail(t *testing.T, walDir string) {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(walDir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no WAL segments to tear (err=%v)", err)
+	}
+	sort.Strings(segs) // fixed-width hex names: lexical order == seq order
+	newest := segs[len(segs)-1]
+	frame := journal.AppendFrame(nil, []byte(`{"t":"accept","id":"j-torn-away"}`))
+	f, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)-5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipStoredResults flips one payload bit in every stored result, modeling
+// latent disk corruption the per-entry checksums must catch.
+func flipStoredResults(t *testing.T, storeDir string) {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(storeDir, "*.res"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no stored results to corrupt; the first job's result should be on disk")
+	}
+	for _, path := range entries {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)-2] ^= 0x01
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -23,10 +23,13 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/route   one net → tree + timing + frontier
-//	POST /v1/batch   many nets → collected (input order) or streamed NDJSON
-//	GET  /v1/healthz liveness; 503 once draining
-//	GET  /v1/stats   metrics snapshot
+//	POST /v1/route     one net → tree + timing + frontier
+//	POST /v1/batch     many nets → collected (input order) or streamed NDJSON
+//	POST /v1/jobs      submit an async job; 202 with a job ID (200 when an
+//	                   Idempotency-Key deduplicates to an existing job)
+//	GET  /v1/jobs/{id} poll a job; terminal states carry the result inline
+//	GET  /v1/healthz   liveness; 503 once draining
+//	GET  /v1/stats     metrics snapshot
 //
 // Every route is wrapped in a recover middleware: a handler panic fails that
 // request with a structured 500 (code "internal") and leaves the server up.
@@ -36,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s.recoverWare(mux)
@@ -138,6 +143,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: s.Batch(r.Context(), &req)})
 }
 
+// handleJobSubmit accepts one async routing job. The request body is a
+// RouteRequest; an Idempotency-Key header makes the submission safely
+// retryable — the same key returns the same job (200), a different body
+// under the same key is a 409. The 202 acknowledgment means the job is
+// journaled (when durability is on) and will reach a terminal state even
+// across a crash.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.jobs.submit")
+	var req RouteRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	st, created, err := s.SubmitJob(&req, r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if !created {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, st)
+}
+
+// handleJobGet reports one job's state; done/degraded jobs carry the
+// (checksum-verified) result inline.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.jobs.get")
+	st, err := s.JobStatus(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.inc("requests.healthz")
 	if s.Draining() {
@@ -187,9 +228,14 @@ type ErrorBody struct {
 //	                            big: the wall-time budget ran out; a bigger
 //	                            budget, a quieter server, or allow_degraded
 //	                            could still serve this request
+//	404 job_not_found           ErrJobNotFound — unknown (or evicted) job ID
+//	409 idempotency_conflict    ErrIdemConflict — Idempotency-Key reused with
+//	                            a different request body; do not retry
 //	429 queue_full              ErrQueueFull — bounded queue rejected the
 //	                            request; Retry-After carries a drain estimate
 //	503 shutting_down           ErrShuttingDown — server is draining
+//	503 durability_unavailable  ErrDurability — the WAL could not acknowledge
+//	                            the job; retry against a healthy disk
 //	503 canceled                client went away mid-request
 //	504 timeout                 per-request compute deadline exceeded
 //	500 internal                ErrInternal / core.ErrInternal — contained
@@ -215,10 +261,16 @@ func classifyError(err error) (status int, code string) {
 		return http.StatusUnprocessableEntity, "budget_exceeded_wall"
 	case errors.Is(err, core.ErrBudgetExceeded):
 		return http.StatusUnprocessableEntity, "budget_exceeded"
+	case errors.Is(err, ErrJobNotFound):
+		return http.StatusNotFound, "job_not_found"
+	case errors.Is(err, ErrIdemConflict):
+		return http.StatusConflict, "idempotency_conflict"
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full"
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, ErrDurability):
+		return http.StatusServiceUnavailable, "durability_unavailable"
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, "timeout"
 	case errors.Is(err, context.Canceled):

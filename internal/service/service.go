@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"merlin/internal/degrade"
 	"merlin/internal/faultinject"
 	"merlin/internal/flows"
+	"merlin/internal/journal"
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -47,6 +49,25 @@ type Config struct {
 	// above it (or a disabled default) is clamped down to it. Default
 	// 8,000,000; negative disables the cap.
 	MaxSolutionsCap int
+
+	// JournalDir enables durability (NewDurable only): the write-ahead log
+	// lives in JournalDir/wal and the checksummed result store in
+	// JournalDir/store. New ignores it.
+	JournalDir string
+	// Fsync is the journal's fsync policy: "always" (the default — an
+	// acknowledged job is on disk), "interval" (group fsync on a timer) or
+	// "never" (OS page cache only).
+	Fsync string
+	// FsyncInterval is the group-fsync cadence under Fsync="interval";
+	// default per internal/journal (50ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery compacts the journal after this many terminal job
+	// records; default 256, negative disables compaction.
+	SnapshotEvery int
+	// MaxJobs bounds the async job table; default 4096. When full, the
+	// oldest finished job is evicted; if every job is live, submissions are
+	// rejected like a full queue.
+	MaxJobs int
 
 	// BrownoutInterval is how often the overload controller samples queue
 	// utilization and per-tier latency; default 100ms, negative disables the
@@ -113,6 +134,15 @@ func (c Config) withDefaults() Config {
 	if c.BrownoutMaxDrain == 0 {
 		c.BrownoutMaxDrain = 2 * time.Second
 	}
+	if c.Fsync == "" {
+		c.Fsync = string(journal.FsyncAlways)
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 4096
+	}
 	return c
 }
 
@@ -165,28 +195,99 @@ type Server struct {
 	brown     *brownout
 	stopBrown chan struct{}
 	stopOnce  sync.Once
+
+	// Durability (nil/zero on servers built by New; see NewDurable).
+	jour  *journal.Journal // write-ahead log of job accept/terminal records
+	store *journal.Store   // checksummed persistent result store
+
+	jobsMu        sync.Mutex // guards the async job table below
+	jobsByID      map[string]*jobEntry
+	jobsByIdem    map[string]*jobEntry
+	jobOrder      []string // insertion order, for bounded eviction
+	termSinceSnap int      // terminal records since the last snapshot
+	runners       sync.WaitGroup // async job runner goroutines
+	replayStats   journal.ReplayStats
 }
 
-// New starts a server's worker pool and returns it ready to serve.
+// New starts a server's worker pool and returns it ready to serve. The
+// server is memory-only: async jobs and cached results die with the process.
+// For crash-safe operation use NewDurable.
 func New(cfg Config) *Server {
+	s := newServer(cfg.withDefaults())
+	s.startWorkers()
+	return s
+}
+
+// NewDurable is New plus durability: it opens the write-ahead log under
+// JournalDir/wal and the checksummed result store under JournalDir/store,
+// replays the journal (truncating any torn tail from a crash), re-enqueues
+// every acknowledged-but-unfinished job (at-least-once, deduplicated by
+// idempotency key), and returns with the persistent store warming the result
+// cache on demand. It fails rather than serve without the durability it was
+// asked for.
+func NewDurable(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.JournalDir == "" {
+		return nil, errors.New("service: NewDurable requires Config.JournalDir")
+	}
+	pol, err := journal.ParseFsyncPolicy(cfg.Fsync)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	store, err := journal.OpenStore(filepath.Join(cfg.JournalDir, "store"))
+	if err != nil {
+		return nil, fmt.Errorf("service: opening result store: %w", err)
+	}
+	jour, err := journal.Open(filepath.Join(cfg.JournalDir, "wal"), journal.Options{
+		Fsync:         pol,
+		FsyncInterval: cfg.FsyncInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	s := newServer(cfg)
+	s.jour, s.store = jour, store
+	pending, err := s.recoverJobs()
+	if err != nil {
+		_ = jour.Close()
+		return nil, fmt.Errorf("service: journal replay: %w", err)
+	}
+	s.startWorkers()
+	if n := len(pending); n > 0 {
+		s.met.add("jobs.recovered", uint64(n))
+		log.Printf("service: recovery re-enqueued %d acknowledged job(s)", n)
+	}
+	for _, e := range pending {
+		s.spawnJob(e)
+	}
+	return s, nil
+}
+
+// newServer builds the server without starting any goroutines.
+func newServer(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		jobs:  make(chan *job, cfg.QueueDepth),
-		cache: newLRU(cfg.CacheSize),
-		met:   newMetrics(),
-		start: time.Now(),
+		cfg:        cfg,
+		jobs:       make(chan *job, cfg.QueueDepth),
+		cache:      newLRU(cfg.CacheSize),
+		met:        newMetrics(),
+		start:      time.Now(),
+		jobsByID:   make(map[string]*jobEntry),
+		jobsByIdem: make(map[string]*jobEntry),
 	}
 	s.brown = newBrownout(cfg)
 	s.stopBrown = make(chan struct{})
-	s.workers.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
+	return s
+}
+
+// startWorkers launches the pool and the brownout controller.
+func (s *Server) startWorkers() {
+	s.workers.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
 	}
-	if cfg.BrownoutInterval > 0 {
+	if s.cfg.BrownoutInterval > 0 {
 		s.goGuard("brownout", s.brownoutLoop)
 	}
-	return s
 }
 
 // Route runs one request through the cache and the pool. It blocks until the
@@ -218,6 +319,14 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 			hit.Cached = true
 			return &hit, nil
 		}
+		// LRU miss: a checksum-verified entry in the persistent store (a
+		// previous process's work) serves and re-warms the cache.
+		if v, ok := s.storeLookup(key, fl, floor); ok {
+			s.met.inc("cache.store_warms")
+			hit := *v
+			hit.Cached = true
+			return &hit, nil
+		}
 		s.met.inc("cache.misses")
 	}
 	j := &job{ctx: ctx, req: req, prof: prof, flow: fl, floor: floor, key: key, eng: eng, done: make(chan jobResult, 1)}
@@ -232,7 +341,9 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 		if !req.NoCache {
 			// The tier that actually served is part of the result identity:
 			// a degraded answer must never satisfy a full-tier request.
-			s.cache.Put(tieredKey(key, r.resp.Tier), r.resp)
+			tk := tieredKey(key, r.resp.Tier)
+			s.cache.Put(tk, r.resp)
+			s.persistResult(tk, r.resp)
 		}
 		return r.resp, nil
 	case <-ctx.Done():
@@ -378,6 +489,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closeJobs.Do(func() { close(s.jobs) })
 	s.workers.Wait()
+	// Async runners have either finished or parked their jobs back to queued
+	// (the WAL carries those to the next boot). Wait for them, write a final
+	// snapshot so the next boot replays one record instead of the whole log,
+	// and close the journal.
+	s.runners.Wait()
+	if s.jour != nil {
+		s.jobsMu.Lock()
+		s.snapshotLocked()
+		s.jobsMu.Unlock()
+		if err := s.jour.Close(); err != nil {
+			log.Printf("service: journal close: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -523,6 +647,31 @@ type Stats struct {
 	TiersServed map[string]uint64 `json:"tiers_served"`
 	// Brownout is the overload controller's state.
 	Brownout BrownoutStats `json:"brownout"`
+	// Durability reports the WAL, the result store and crash recovery;
+	// present only on servers created with NewDurable.
+	Durability *DurabilityStats `json:"durability,omitempty"`
+}
+
+// DurabilityStats is the /v1/stats durability section.
+type DurabilityStats struct {
+	// Journal counters.
+	JournalAppends   uint64 `json:"journal_appends"`
+	JournalFsyncs    uint64 `json:"journal_fsyncs"`
+	JournalSegments  int    `json:"journal_segments"`
+	JournalSnapshots uint64 `json:"journal_snapshots"`
+	// Result-store counters (quarantined counts checksum failures moved
+	// aside — corrupt bytes are never served).
+	StoreEntries     int    `json:"store_entries"`
+	StoreQuarantined uint64 `json:"store_quarantined"`
+	StoreHits        uint64 `json:"store_hits"`
+	StoreWrites      uint64 `json:"store_writes"`
+	// Last boot's replay.
+	ReplayRecords         int   `json:"replay_records"`
+	ReplaySnapshotUsed    bool  `json:"replay_snapshot_used"`
+	ReplayTruncatedBytes  int64 `json:"replay_truncated_bytes"`
+	ReplayCorruptSegments int   `json:"replay_corrupt_segments"`
+	// JobsTracked is the async job table's current size.
+	JobsTracked int `json:"jobs_tracked"`
 }
 
 // BrownoutStats reports the overload controller on /v1/stats.
@@ -564,6 +713,30 @@ func (s *Server) Stats() Stats {
 			tiers[t.String()] = n
 		}
 	}
+	var dur *DurabilityStats
+	if s.jour != nil {
+		js := s.jour.Stats()
+		ss := s.store.Stats()
+		s.jobsMu.Lock()
+		tracked := len(s.jobOrder)
+		rs := s.replayStats
+		s.jobsMu.Unlock()
+		dur = &DurabilityStats{
+			JournalAppends:        js.Appends,
+			JournalFsyncs:         js.Fsyncs,
+			JournalSegments:       js.Segments,
+			JournalSnapshots:      js.Snapshots,
+			StoreEntries:          ss.Entries,
+			StoreQuarantined:      ss.Quarantined,
+			StoreHits:             ss.Hits,
+			StoreWrites:           ss.Writes,
+			ReplayRecords:         rs.Records,
+			ReplaySnapshotUsed:    rs.SnapshotUsed,
+			ReplayTruncatedBytes:  rs.TruncatedBytes,
+			ReplayCorruptSegments: rs.CorruptSegments,
+			JobsTracked:           tracked,
+		}
+	}
 	bt := s.brown.tier()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -581,5 +754,6 @@ func (s *Server) Stats() Stats {
 			Raised:  counters["brownout.raised"],
 			Lowered: counters["brownout.lowered"],
 		},
+		Durability: dur,
 	}
 }

@@ -63,8 +63,13 @@ func (e *APIError) Error() string {
 }
 
 // Retryable reports whether the error means "try again later" rather than
-// "this request is wrong": a full queue or a draining server.
+// "this request is wrong": a full queue or a draining server. A 409
+// idempotency conflict is explicitly not retryable — the key will keep
+// naming the original request, so replaying can never succeed.
 func (e *APIError) Retryable() bool {
+	if e.Status == http.StatusConflict {
+		return false
+	}
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
@@ -154,7 +159,7 @@ func (c *Client) BatchStream(ctx context.Context, req *service.BatchRequest, fn 
 	if err != nil {
 		return fmt.Errorf("client: encode request: %w", err)
 	}
-	resp, err := c.doRetry(ctx, "/v1/batch", body)
+	resp, err := c.doRetry(ctx, "/v1/batch", body, nil)
 	if err != nil {
 		return err
 	}
@@ -207,11 +212,17 @@ func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
 
 // postRetry sends a JSON POST with retries and decodes the 200 body into out.
 func (c *Client) postRetry(ctx context.Context, path string, in, out any) error {
+	return c.postRetryHeader(ctx, path, nil, in, out)
+}
+
+// postRetryHeader is postRetry with extra request headers (e.g.
+// Idempotency-Key) applied to every attempt.
+func (c *Client) postRetryHeader(ctx context.Context, path string, header http.Header, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encode request: %w", err)
 	}
-	resp, err := c.doRetry(ctx, path, body)
+	resp, err := c.doRetry(ctx, path, body, header)
 	if err != nil {
 		return err
 	}
@@ -225,8 +236,8 @@ func (c *Client) postRetry(ctx context.Context, path string, in, out any) error 
 // doRetry POSTs body to path until it gets a 2xx, a non-retryable verdict,
 // or the retry budget / context runs out. On a retryable failure it sleeps
 // the exponential backoff with full jitter, or the server's Retry-After hint
-// when that is longer.
-func (c *Client) doRetry(ctx context.Context, path string, body []byte) (*http.Response, error) {
+// when that is longer. header (may be nil) is applied to every attempt.
+func (c *Client) doRetry(ctx context.Context, path string, body []byte, header http.Header) (*http.Response, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -237,6 +248,11 @@ func (c *Client) doRetry(ctx context.Context, path string, body []byte) (*http.R
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		for k, vs := range header {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
 		resp, err := c.hc.Do(req)
 		var wait time.Duration
 		switch {

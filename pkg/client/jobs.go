@@ -1,0 +1,126 @@
+package client
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"merlin/internal/service"
+)
+
+// SubmitJob submits one asynchronous routing job (POST /v1/jobs) and returns
+// the server's acknowledgment. With an empty idemKey the client generates a
+// fresh idempotency key, so its own transport-level retries can never
+// double-run the job; pass an explicit key to deduplicate across processes.
+// The key in effect is echoed in the returned status. A 409 (the key was
+// reused with a different request body) is returned immediately, never
+// retried — see APIError.Retryable.
+func (c *Client) SubmitJob(ctx context.Context, req *service.RouteRequest, idemKey string) (*service.JobStatus, error) {
+	if idemKey == "" {
+		var err error
+		if idemKey, err = newIdemKey(); err != nil {
+			return nil, err
+		}
+	}
+	h := http.Header{"Idempotency-Key": []string{idemKey}}
+	var out service.JobStatus
+	if err := c.postRetryHeader(ctx, "/v1/jobs", h, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobStatus fetches one job's current state (GET /v1/jobs/{id}) once, no
+// retries: like the other probes, it observes the server's state right now.
+func (c *Client) JobStatus(ctx context.Context, id string) (*service.JobStatus, error) {
+	resp, err := c.get(ctx, "/v1/jobs/"+id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorFrom(resp)
+	}
+	var out service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode job status: %w", err)
+	}
+	return &out, nil
+}
+
+// WaitJob polls a job until it reaches a terminal state (done, failed or
+// degraded) and returns that final status — including for failed jobs, whose
+// Error/Code fields carry the verdict; WaitJob itself errors only when
+// polling breaks (unknown ID, transport failure, ctx done). Polls are spaced
+// by the client's exponential backoff, capped at the backoff ceiling, and a
+// server Retry-After hint on a transient poll failure is honored.
+func (c *Client) WaitJob(ctx context.Context, id string) (*service.JobStatus, error) {
+	transient := 0
+	for attempt := 0; ; attempt++ {
+		st, err := c.JobStatus(ctx, id)
+		switch {
+		case err == nil:
+			transient = 0
+			if service.JobState(st.State).Terminal() {
+				return st, nil
+			}
+		default:
+			apiErr, ok := err.(*APIError)
+			if !ok || !apiErr.Retryable() {
+				return nil, err
+			}
+			// A draining or overloaded server still owns the job; keep
+			// polling until the retry budget says otherwise.
+			if transient++; transient > c.maxRetries {
+				return nil, fmt.Errorf("client: giving up polling job %s: %w", id, err)
+			}
+			if apiErr.RetryAfter > 0 {
+				if serr := c.sleep(ctx, apiErr.RetryAfter); serr != nil {
+					return nil, c.abort(serr, err)
+				}
+				continue
+			}
+		}
+		d := c.backoff(attempt, 0)
+		if d < minPollInterval {
+			d = minPollInterval // a zero-backoff client must not busy-poll
+		}
+		if serr := c.sleep(ctx, d); serr != nil {
+			return nil, c.abort(serr, err)
+		}
+	}
+}
+
+// minPollInterval floors WaitJob's poll spacing, whatever backoff the client
+// was configured with.
+const minPollInterval = 10 * time.Millisecond
+
+// RouteAsync is SubmitJob + WaitJob: durable at-least-once submission with
+// synchronous ergonomics. A failed job comes back as an *APIError carrying
+// the job's code, mirroring what the synchronous Route would have returned.
+func (c *Client) RouteAsync(ctx context.Context, req *service.RouteRequest) (*service.RouteResponse, error) {
+	st, err := c.SubmitJob(ctx, req, "")
+	if err != nil {
+		return nil, err
+	}
+	if st, err = c.WaitJob(ctx, st.ID); err != nil {
+		return nil, err
+	}
+	if service.JobState(st.State) == service.JobFailed {
+		return nil, &APIError{Status: http.StatusUnprocessableEntity, Code: st.Code, Message: st.Error}
+	}
+	return st.Result, nil
+}
+
+// newIdemKey mints a collision-resistant idempotency key.
+func newIdemKey() (string, error) {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("client: idempotency key: %w", err)
+	}
+	return "idem-" + hex.EncodeToString(b[:]), nil
+}
