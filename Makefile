@@ -9,7 +9,7 @@ GO ?= go
 # How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint invariants chaos fuzz crash verify bench
+.PHONY: all build test race vet lint invariants chaos fuzz crash verify bench bench-tables
 
 all: build
 
@@ -26,7 +26,7 @@ test:
 # where concurrency actually lives. TestChaos* is skipped here because the
 # chaos target runs the storms on their own.
 race:
-	$(GO) test -race -skip 'TestChaos|TestCrashRecovery' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./cmd/merlind/...
+	$(GO) test -race -skip 'TestChaos|TestCrashRecovery' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./cmd/merlind/... ./cmd/merlintop/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
 
 # The fault-injection storms: 240 concurrent good/bad/huge/degradable
@@ -60,9 +60,9 @@ vet:
 	$(GO) vet ./...
 
 # Project-invariant static analysis: go vet first (cheap, catches the
-# universal mistakes), then merlinlint's seven repo-specific rules (ctxonly,
-# goguard, faultsite, errtaxonomy, journalonly, ladderonly, nopanic).
-# Non-zero exit on any finding;
+# universal mistakes), then merlinlint's eight repo-specific rules (ctxonly,
+# goguard, faultsite, errtaxonomy, journalonly, ladderonly, nopanic,
+# tracespan). Non-zero exit on any finding;
 # see DESIGN.md "Static analysis & runtime invariants".
 lint: vet
 	$(GO) run ./cmd/merlinlint .
@@ -75,5 +75,17 @@ invariants:
 
 verify: build test lint race chaos fuzz invariants crash
 
+# The performance baseline: merlinbench runs the fixed benchmark set (core
+# construct, trace span price disabled/enabled, service batch with tracing
+# off/on, and the fixed mixed load profile's p50/p90/p99) and writes
+# BENCH_$(BENCH_N).json. Committed baselines make later "faster" claims a
+# file diff; BENCH_N is the PR number the baseline belongs to.
+BENCH_N ?= 6
 bench:
+	$(GO) run ./cmd/merlinbench -out BENCH_$(BENCH_N).json
+	@cat BENCH_$(BENCH_N).json
+
+# The paper-evaluation benchmarks (Table 1/2 regeneration etc.) stay on the
+# stock tooling.
+bench-tables:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

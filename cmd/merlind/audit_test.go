@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"merlin/internal/trace"
+)
+
+// TestAuditVerifyMode pins the -audit-verify exit contract: an intact chain
+// verifies, a flipped byte in an acknowledged record fails, and the flag
+// refuses to run without -journal-dir.
+func TestAuditVerifyMode(t *testing.T) {
+	dir := t.TempDir()
+	a, err := trace.OpenAudit(filepath.Join(dir, "audit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range []string{"accepted", "started", "done"} {
+		if err := a.Append(ev, "job-1", map[string]string{"n": strings.Repeat("x", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runAuditVerify(dir); err != nil {
+		t.Fatalf("intact chain failed verification: %v", err)
+	}
+
+	path := filepath.Join(dir, "audit", "audit.log")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[12] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAuditVerify(dir); err == nil {
+		t.Fatal("tampered chain passed verification")
+	}
+
+	if err := runAuditVerify(""); err == nil {
+		t.Fatal("-audit-verify without -journal-dir did not error")
+	}
+}

@@ -9,13 +9,28 @@
 //	        [-timeout 60s] [-maxsinks 64]
 //	        [-brownout 100ms] [-brownout-drain 2s]
 //	        [-journal-dir DIR] [-fsync always|interval|never]
+//	        [-trace-ring N] [-trace-slow 250ms] [-trace-sample N]
 //	merlind -smoke [-target http://host:port]
+//	merlind -audit-verify -journal-dir DIR
 //
 // -journal-dir enables durable jobs: POST /v1/jobs acknowledgments are
 // journaled to a crash-safe write-ahead log and results persist in a
 // checksummed store, both under DIR; on restart the journal is replayed and
 // every acknowledged-but-unfinished job runs again. -fsync trades
 // acknowledgment latency against crash-loss window (default "always").
+// Durability also enables the hash-chained audit log under DIR/audit.
+//
+// -trace-ring sizes the in-memory ring of finished request traces served by
+// GET /v1/trace/{id} and streamed over GET /v1/trace/stream (0 = 512,
+// negative disables tracing entirely). -trace-slow is the latency above
+// which a trace is always retained; -trace-sample N keeps 1-in-N of the
+// faster ones (1 = keep all).
+//
+// -audit-verify walks the audit log's hash chain under -journal-dir instead
+// of serving: it prints a verification report and exits 0 when the chain is
+// intact (a torn final line from a crash is repaired on the next server
+// start and reported here as benign), or exits 1 with the first broken link
+// when any acknowledged record was altered or removed.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops accepting,
 // in-flight requests drain (bounded by -drain), then the process exits.
@@ -35,10 +50,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"merlin/internal/service"
+	"merlin/internal/trace"
 )
 
 func main() {
@@ -60,13 +77,38 @@ func main() {
 			"directory for the job write-ahead log and persistent result store (empty disables durability)")
 		fsync = flag.String("fsync", "",
 			`journal fsync policy: "always", "interval" or "never" (default always)`)
+		traceRing = flag.Int("trace-ring", 0,
+			"finished traces retained for /v1/trace/{id} (0 = 512, negative disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 0,
+			"latency above which a trace is always retained (0 = 250ms)")
+		traceSample = flag.Int("trace-sample", 0,
+			"keep 1-in-N traces below -trace-slow (0 or 1 = keep all)")
+		auditVerify = flag.Bool("audit-verify", false,
+			"verify the audit log's hash chain under -journal-dir and exit")
 	)
 	flag.Parse()
+	cfg := service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cache,
+		DefaultTimeout:   *timeout,
+		MaxSinks:         *maxSinks,
+		BrownoutInterval: *brownout,
+		BrownoutMaxDrain: *brownoutDrain,
+		JournalDir:       *journalDir,
+		Fsync:            *fsync,
+		TraceRing:        *traceRing,
+		TraceSlow:        *traceSlow,
+		TraceSampleN:     *traceSample,
+	}
 	var err error
-	if *smoke {
+	switch {
+	case *auditVerify:
+		err = runAuditVerify(*journalDir)
+	case *smoke:
 		err = runSmoke(*target, 5*time.Minute)
-	} else {
-		err = run(*addr, *workers, *queue, *cache, *timeout, *maxSinks, *drain, *brownout, *brownoutDrain, *journalDir, *fsync)
+	default:
+		err = run(*addr, *drain, cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "merlind:", err)
@@ -74,25 +116,37 @@ func main() {
 	}
 }
 
-func run(addr string, workers, queue, cache int, timeout time.Duration, maxSinks int, drain, brownout, brownoutDrain time.Duration, journalDir, fsync string) error {
-	cfg := service.Config{
-		Workers:          workers,
-		QueueDepth:       queue,
-		CacheSize:        cache,
-		DefaultTimeout:   timeout,
-		MaxSinks:         maxSinks,
-		BrownoutInterval: brownout,
-		BrownoutMaxDrain: brownoutDrain,
-		JournalDir:       journalDir,
-		Fsync:            fsync,
+// runAuditVerify replays the audit log's hash chain and reports. Exit 0
+// means every acknowledged record is present, in order, and byte-identical
+// to what was written; a torn final line (a crash mid-append that was never
+// acknowledged) is reported but does not fail verification.
+func runAuditVerify(journalDir string) error {
+	if journalDir == "" {
+		return errors.New("-audit-verify requires -journal-dir")
 	}
+	rep, err := trace.VerifyAudit(filepath.Join(journalDir, "audit"))
+	if err != nil {
+		return fmt.Errorf("audit chain broken: %w", err)
+	}
+	fmt.Printf("audit chain OK: %d records", rep.Records)
+	if rep.Records > 0 {
+		fmt.Printf(", tail seq %d, tail hash %s", rep.TailSeq, rep.TailHash)
+	}
+	if rep.Truncated {
+		fmt.Printf(" (torn final line from a crash mid-append; unacknowledged, repaired on next start)")
+	}
+	fmt.Println()
+	return nil
+}
+
+func run(addr string, drain time.Duration, cfg service.Config) error {
 	var srv *service.Server
-	if journalDir != "" {
+	if cfg.JournalDir != "" {
 		var err error
 		if srv, err = service.NewDurable(cfg); err != nil {
 			return err
 		}
-		log.Printf("merlind: durable jobs enabled (journal %s, fsync %s)", journalDir, srv.FsyncPolicy())
+		log.Printf("merlind: durable jobs enabled (journal %s, fsync %s)", cfg.JournalDir, srv.FsyncPolicy())
 	} else {
 		srv = service.New(cfg)
 	}

@@ -1,0 +1,293 @@
+// Command merlintop is a terminal dashboard for a running merlind: it polls
+// GET /v1/stats and tails the GET /v1/trace/stream NDJSON firehose, and
+// redraws one screen per interval — queue and worker occupancy, brownout
+// state, cache and trace-collector accounting, per-tier latency quantiles,
+// and the slowest recent traces with their span breakdown. Stdlib only; the
+// "UI" is ANSI clear-and-home, so it runs anywhere a terminal does.
+//
+// Usage:
+//
+//	merlintop [-target http://localhost:8080] [-interval 1s] [-n 10] [-once]
+//
+// -once renders a single frame without clearing the screen and exits —
+// usable from scripts and tests. The stream tailer reconnects with backoff
+// when the server restarts; a dashboard must survive its subject.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"merlin/internal/service"
+	"merlin/internal/trace"
+)
+
+// traceRing is how many finished traces the dashboard remembers; the
+// slowest-N table ranks within this window, so a slow trace ages out after
+// ~ring more requests rather than squatting the board forever.
+const traceRing = 256
+
+func main() {
+	var (
+		target   = flag.String("target", "http://localhost:8080", "merlind base URL")
+		interval = flag.Duration("interval", time.Second, "redraw interval")
+		topN     = flag.Int("n", 10, "slowest traces shown")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+	m := newModel(*target, *topN)
+	if *once {
+		if err := m.runOnce(os.Stdout, *interval); err != nil {
+			fmt.Fprintln(os.Stderr, "merlintop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	m.run(os.Stdout, *interval)
+}
+
+// model is the dashboard's state: the latest stats poll and a bounded ring
+// of finished traces from the stream.
+type model struct {
+	target string
+	topN   int
+	hc     *http.Client
+
+	mu       sync.Mutex
+	stats    *service.Stats
+	statsErr error
+	traces   []trace.TraceJSON // newest last, len <= traceRing
+	seen     uint64            // total traces observed on the stream
+}
+
+func newModel(target string, topN int) *model {
+	return &model{target: strings.TrimRight(target, "/"), topN: topN, hc: &http.Client{}}
+}
+
+// run is the interactive loop: tail the stream in the background, poll
+// stats and redraw every interval until interrupted.
+func (m *model) run(w io.Writer, interval time.Duration) {
+	ctx := context.Background()
+	go m.tailStream(ctx)
+	for {
+		m.pollStats(ctx)
+		fmt.Fprint(w, "\x1b[2J\x1b[H") // clear screen, cursor home
+		m.render(w)
+		time.Sleep(interval)
+	}
+}
+
+// runOnce renders a single plain frame: one stats poll, plus whatever the
+// stream delivers within the interval.
+func (m *model) runOnce(w io.Writer, interval time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), interval)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if r := recover(); r != nil {
+				m.mu.Lock()
+				m.statsErr = fmt.Errorf("stream tail panic: %v", r)
+				m.mu.Unlock()
+			}
+		}()
+		m.streamOnce(ctx)
+	}()
+	m.pollStats(ctx)
+	<-done
+	m.render(w)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.statsErr
+}
+
+func (m *model) pollStats(ctx context.Context) {
+	st, err := m.fetchStats(ctx)
+	m.mu.Lock()
+	m.stats, m.statsErr = st, err
+	m.mu.Unlock()
+}
+
+func (m *model) fetchStats(ctx context.Context) (*service.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.target+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: status %d", resp.StatusCode)
+	}
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("stats: %w", err)
+	}
+	return &st, nil
+}
+
+// tailStream keeps a stream subscription open forever, reconnecting with a
+// fixed backoff when the server drops or restarts.
+func (m *model) tailStream(ctx context.Context) {
+	for {
+		m.streamOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// streamOnce consumes one stream connection until it ends (server shutdown,
+// network drop, or ctx done).
+func (m *model) streamOnce(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.target+"/v1/trace/stream", nil)
+	if err != nil {
+		return
+	}
+	resp, err := m.hc.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var snap trace.TraceJSON
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			continue // torn line on reconnect; the next one resyncs
+		}
+		m.mu.Lock()
+		m.seen++
+		m.traces = append(m.traces, snap)
+		if len(m.traces) > traceRing {
+			m.traces = m.traces[len(m.traces)-traceRing:]
+		}
+		m.mu.Unlock()
+	}
+}
+
+// render draws one frame from the current state.
+func (m *model) render(w io.Writer) {
+	m.mu.Lock()
+	st, statsErr := m.stats, m.statsErr
+	traces := append([]trace.TraceJSON(nil), m.traces...)
+	seen := m.seen
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "merlintop — %s\n", m.target)
+	if statsErr != nil {
+		fmt.Fprintf(w, "  stats unavailable: %v\n", statsErr)
+	}
+	if st != nil {
+		fmt.Fprintf(w, "  %s (%s %s/%s)  up %s  workers %d  draining %v\n",
+			orDash(st.Build.Version), st.Build.GoVersion, st.Build.OS, st.Build.Arch,
+			(time.Duration(st.UptimeSeconds) * time.Second).String(), st.Workers, st.Draining)
+		fmt.Fprintf(w, "  queue %d/%d   brownout tier=%s level=%d (raised %d, lowered %d)\n",
+			st.QueueDepth, st.QueueCapacity, st.Brownout.Tier, st.Brownout.Level, st.Brownout.Raised, st.Brownout.Lowered)
+		fmt.Fprintf(w, "  cache %d/%d hits=%d misses=%d\n",
+			st.Cache.Size, st.Cache.Capacity, st.Cache.Hits, st.Cache.Misses)
+		if st.Trace != nil {
+			fmt.Fprintf(w, "  traces ring=%d/%d kept=%d sampled_out=%d evicted=%d stream_dropped=%d\n",
+				st.Trace.Ring, st.Trace.RingCap, st.Trace.Kept, st.Trace.SampledOut, st.Trace.Evicted, st.Trace.SubDropped)
+		} else {
+			fmt.Fprintf(w, "  traces disabled\n")
+		}
+		renderTiers(w, st)
+	}
+	renderSlowest(w, traces, seen, m.topN)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// renderTiers prints answers-per-tier counts and the per-tier latency
+// quantiles from the tier_* histograms.
+func renderTiers(w io.Writer, st *service.Stats) {
+	if len(st.TiersServed) > 0 {
+		var tiers []string
+		for tier := range st.TiersServed {
+			tiers = append(tiers, tier)
+		}
+		sort.Strings(tiers)
+		fmt.Fprintf(w, "  tiers served:")
+		for _, tier := range tiers {
+			fmt.Fprintf(w, " %s=%d", tier, st.TiersServed[tier])
+		}
+		fmt.Fprintln(w)
+	}
+	var keys []string
+	for k := range st.LatencyMS {
+		if strings.HasPrefix(k, "tier_") {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "  latency ms (p50/p95/p99, n):\n")
+	for _, k := range keys {
+		h := st.LatencyMS[k]
+		fmt.Fprintf(w, "    %-14s %8.1f / %8.1f / %8.1f   %d\n",
+			strings.TrimPrefix(k, "tier_"), h.P50MS, h.P95MS, h.P99MS, h.Count)
+	}
+}
+
+// renderSlowest prints the top-N slowest traces in the remembered window,
+// each with its span breakdown on one line.
+func renderSlowest(w io.Writer, traces []trace.TraceJSON, seen uint64, topN int) {
+	if len(traces) == 0 {
+		fmt.Fprintf(w, "  no traces on the stream yet\n")
+		return
+	}
+	sort.SliceStable(traces, func(i, j int) bool { return traces[i].DurationMS > traces[j].DurationMS })
+	if topN > len(traces) {
+		topN = len(traces)
+	}
+	fmt.Fprintf(w, "  slowest traces (%d seen, window %d):\n", seen, len(traces))
+	for _, snap := range traces[:topN] {
+		fmt.Fprintf(w, "    %s %-8s %9.1fms  %s\n",
+			snap.TraceID, snap.Name, snap.DurationMS, spanSummary(snap))
+	}
+}
+
+// spanSummary compresses a trace's spans to "name(ms) name(ms) ..." in
+// start order — enough to see where a slow request spent its time.
+func spanSummary(snap trace.TraceJSON) string {
+	spans := append([]trace.SpanJSON(nil), snap.Spans...)
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].StartUnixNano < spans[j].StartUnixNano })
+	var b strings.Builder
+	for i, sp := range spans {
+		if sp.Name == snap.Name && sp.ParentID == "" {
+			continue // the root span restates the trace line itself
+		}
+		if i > 0 && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		ms := float64(sp.EndUnixNano-sp.StartUnixNano) / 1e6
+		fmt.Fprintf(&b, "%s(%.1f)", sp.Name, ms)
+	}
+	if snap.Dropped > 0 {
+		fmt.Fprintf(&b, " +%d dropped", snap.Dropped)
+	}
+	return b.String()
+}

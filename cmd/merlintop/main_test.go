@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"merlin/internal/flows"
+	"merlin/internal/net"
+	"merlin/internal/service"
+)
+
+// TestRunOnceAgainstLiveServer drives the -once path end-to-end: a real
+// service, one routed request, and the rendered frame must show the stats
+// header, the tier latency table, and the routed request's trace picked up
+// from the stream.
+func TestRunOnceAgainstLiveServer(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	m := newModel(ts.URL, 5)
+
+	// The stream only carries traces finished while subscribed, so the route
+	// must land inside runOnce's window: give its stream connection a beat
+	// to attach, then fire.
+	prof := flows.ProfileFor(6)
+	n := net.Generate(net.DefaultGenSpec(6, 11), prof.Tech, prof.Lib.Driver)
+	routeDone := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		_, err := s.Route(context.Background(), &service.RouteRequest{Net: n, MaxLoops: 1})
+		routeDone <- err
+	}()
+
+	var buf bytes.Buffer
+	if err := m.runOnce(&buf, 8*time.Second); err != nil {
+		t.Fatalf("runOnce: %v", err)
+	}
+	if err := <-routeDone; err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	frame := buf.String()
+
+	for _, want := range []string{
+		"merlintop — " + ts.URL, // header names the target
+		"queue 0/",              // queue line with capacity
+		"brownout tier=full",    // controller at rest
+		"traces ring=",          // collector accounting present
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "no traces on the stream yet") {
+		t.Errorf("stream delivered no traces to the dashboard:\n%s", frame)
+	}
+	if !strings.Contains(frame, "rung.full") {
+		t.Errorf("slowest-trace span summary missing rung.full:\n%s", frame)
+	}
+}
+
+// TestRunOnceStatsDown: with no server, runOnce reports the stats error and
+// still renders a frame rather than crashing.
+func TestRunOnceStatsDown(t *testing.T) {
+	m := newModel("http://127.0.0.1:1", 5) // port 1: nothing listens
+	var buf bytes.Buffer
+	if err := m.runOnce(&buf, 200*time.Millisecond); err == nil {
+		t.Fatal("runOnce against a dead target returned nil error")
+	}
+	frame := buf.String()
+	if !strings.Contains(frame, "stats unavailable") {
+		t.Errorf("frame does not report the dead target:\n%s", frame)
+	}
+	if !strings.Contains(frame, "no traces on the stream yet") {
+		t.Errorf("frame does not report the empty stream:\n%s", frame)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"merlin/internal/buflib"
@@ -11,6 +12,7 @@ import (
 	"merlin/internal/net"
 	"merlin/internal/order"
 	"merlin/internal/rc"
+	"merlin/internal/trace"
 	"merlin/internal/tree"
 )
 
@@ -82,7 +84,10 @@ func (en *Engine) MerlinCtx(ctx context.Context, initOrder order.Order) (out *Re
 	}
 	pi := initOrder
 	if pi == nil {
+		// dp.order: the TSP-heuristic initial sink order (Fig. 14 line 1).
+		_, osp := trace.StartSpan(ctx, "dp.order")
 		pi = order.TSP(en.Net.Source, en.Net.SinkPoints())
+		osp.End()
 	}
 	if !pi.Valid() || len(pi) != en.Net.N() {
 		return nil, fmt.Errorf("core: initial order must be a permutation of the %d sinks", en.Net.N())
@@ -95,15 +100,25 @@ func (en *Engine) MerlinCtx(ctx context.Context, initOrder order.Order) (out *Re
 			return nil, fmt.Errorf("core: merlin canceled after %d loops: %w", res.Loops, err)
 		}
 		res.Loops++
-		final, err := en.ConstructCtx(ctx, pi)
+		// dp.construct: one BUBBLE_CONSTRUCT pass over the current order —
+		// the DP hot phase a traced request mostly consists of.
+		cctx, csp := trace.StartSpan(ctx, "dp.construct")
+		csp.SetAttr("loop", strconv.Itoa(res.Loops))
+		final, err := en.ConstructCtx(cctx, pi)
+		csp.End()
 		if err != nil {
 			return nil, err
 		}
+		// dp.extract: final eval — walk the frontier for the goal's best
+		// solution and rebuild its embedded tree.
+		_, esp := trace.StartSpan(ctx, "dp.extract")
 		sol, reqAt, err := en.Extract(final, en.Opts.Goal)
 		if err != nil {
+			esp.End()
 			return nil, err
 		}
 		t, err := en.BuildTree(sol)
+		esp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -37,6 +37,7 @@ import (
 	"merlin/internal/faultinject"
 	"merlin/internal/flows"
 	"merlin/internal/net"
+	"merlin/internal/trace"
 )
 
 // Tier identifies one rung of the ladder. Tiers are ordered best-first:
@@ -282,10 +283,18 @@ func (l Ladder) Solve(ctx context.Context, req Request) (Result, error) {
 // higher tier degrades the request instead of failing it (the chaos test
 // forces exactly this via SiteDegradeTier).
 func (l Ladder) runTier(ctx context.Context, t Tier, req Request, p flows.Profile) (fr flows.Result, err error) {
+	// rung.<tier>: one ladder attempt. The span closes inside the
+	// panic-containment defer, after a contained panic has been rewritten
+	// into err, so a panicking rung still shows up as a failed span.
+	ctx, sp := trace.StartSpan(ctx, "rung."+t.String())
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: panic in tier %s: %v\n%s", core.ErrInternal, t, r, debug.Stack())
 		}
+		if err != nil {
+			sp.SetAttr("error", "true")
+		}
+		sp.End()
 	}()
 	if err := faultinject.Fire(faultinject.SiteDegradeTier); err != nil {
 		return flows.Result{}, fmt.Errorf("degrade: tier %s: %w", t, err)

@@ -30,6 +30,7 @@
 package journal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -38,10 +39,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"merlin/internal/faultinject"
+	"merlin/internal/trace"
 )
 
 // MaxRecordSize bounds one record's payload; a frame announcing more is
@@ -391,6 +394,19 @@ func AppendFrame(dst, payload []byte) []byte {
 // full), and — under FsyncAlways — fsynced before Append returns, so a nil
 // return means the record survives a crash.
 func (j *Journal) Append(payload []byte) error {
+	return j.AppendCtx(context.Background(), payload)
+}
+
+// AppendCtx is Append carrying a context for tracing: when ctx holds a
+// trace, the write is recorded as a "journal.append" span with a nested
+// "journal.fsync" span under FsyncAlways — the two disk waits a request can
+// spend time in here. The context does not cancel the write: a record is
+// either fully appended or not, and abandoning it halfway would tear the
+// log on purpose.
+func (j *Journal) AppendCtx(ctx context.Context, payload []byte) error {
+	ctx, sp := trace.StartSpan(ctx, "journal.append")
+	defer sp.End()
+	sp.SetAttr("bytes", strconv.Itoa(len(payload)))
 	if len(payload) == 0 || len(payload) > MaxRecordSize {
 		return fmt.Errorf("journal: record size %d out of range [1, %d]", len(payload), MaxRecordSize)
 	}
@@ -421,7 +437,10 @@ func (j *Journal) Append(payload []byte) error {
 	j.appends++
 	switch j.opts.Fsync {
 	case FsyncAlways:
-		return j.syncLocked()
+		_, fsp := trace.StartSpan(ctx, "journal.fsync")
+		err := j.syncLocked()
+		fsp.End()
+		return err
 	case FsyncEvery:
 		j.dirty = true
 	}

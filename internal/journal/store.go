@@ -1,17 +1,20 @@
 package journal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"merlin/internal/faultinject"
+	"merlin/internal/trace"
 )
 
 // Store is merlind's disk-backed result store: one file per entry, keyed by
@@ -75,6 +78,16 @@ func keyFile(key string) string {
 // Put durably writes payload under key (temp file + fsync + rename).
 // Overwriting an existing entry is atomic: readers see old or new, not a mix.
 func (s *Store) Put(key string, payload []byte) error {
+	return s.PutCtx(context.Background(), key, payload)
+}
+
+// PutCtx is Put carrying a context for tracing: a traced request records
+// the store write (temp + fsync + rename) as a "journal.persist" span. Like
+// AppendCtx, the context does not cancel the write.
+func (s *Store) PutCtx(ctx context.Context, key string, payload []byte) error {
+	_, sp := trace.StartSpan(ctx, "journal.persist")
+	defer sp.End()
+	sp.SetAttr("bytes", strconv.Itoa(len(payload)))
 	if len(payload) == 0 || len(payload) > MaxRecordSize {
 		return fmt.Errorf("journal: store entry size %d out of range [1, %d]", len(payload), MaxRecordSize)
 	}

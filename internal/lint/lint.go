@@ -29,6 +29,11 @@
 //	journalonly internal/service does durable file IO only through
 //	            internal/journal, which owns checksumming, fsync policy and
 //	            crash-safe replay — never raw os.OpenFile/Create/WriteFile
+//	tracespan   request timing in internal/service handlers and trace/span
+//	            construction go through the internal/trace helpers — no
+//	            hand-rolled time.Now/Since in handlers, no hand-built
+//	            trace.Span/trace.Trace values, no collector-bypassing
+//	            trace.NewTrace in serving code
 package lint
 
 import (
@@ -100,6 +105,7 @@ var Rules = []*Rule{
 	journalonlyRule,
 	ladderonlyRule,
 	nopanicRule,
+	tracespanRule,
 }
 
 // pos converts a token.Pos into a Diagnostic at the file's logical path.

@@ -72,6 +72,7 @@ func TestFixtures(t *testing.T) {
 		{rule: "nopanic", logical: "internal/core"},
 		{rule: "ladderonly", logical: "internal/service"},
 		{rule: "journalonly", logical: "internal/service"},
+		{rule: "tracespan", logical: "internal/service"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {
@@ -135,6 +136,8 @@ func TestFixtureExactPositions(t *testing.T) {
 		{rule: "ladderonly", logical: "internal/service", line: 7, col: 12},
 		// call.Pos() of os.OpenFile after `f, err := `.
 		{rule: "journalonly", logical: "internal/service", line: 7, col: 12},
+		// call.Pos() of time.Now after `start := `.
+		{rule: "tracespan", logical: "internal/service", line: 7, col: 11},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

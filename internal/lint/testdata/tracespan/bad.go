@@ -1,0 +1,18 @@
+// Package fixture is a tracespan fixture: hand-rolled timing inside HTTP
+// handlers and hand-constructed trace values. Checked with the logical path
+// internal/service/bad.go. Parse-only — identifiers need not resolve.
+package fixture
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now() // want tracespan
+	resp := s.route(r)
+	s.met.observe("route", time.Since(start)) // want tracespan
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) buildTrace(name string) {
+	tr, root := trace.NewTrace(name) // want tracespan
+	sp := trace.Span{}               // want tracespan
+	t2 := &trace.Trace{}             // want tracespan
+	_, _, _, _ = tr, root, sp, t2
+}

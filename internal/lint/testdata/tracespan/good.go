@@ -1,0 +1,39 @@
+// Package fixture is the clean tracespan fixture: the sanctioned span
+// helpers, timing outside handlers, the escape hatch, and receivers the rule
+// must not confuse with the time / trace packages.
+package fixture
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	// Sanctioned: span helpers own the timing.
+	ctx, sp := trace.StartSpan(r.Context(), "handler.route")
+	defer sp.End()
+	resp := s.route(ctx)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Worker-side timing is not fenced: only handlers must go through spans.
+func (s *Server) runJob(j *job) {
+	start := time.Now()
+	s.work(j)
+	s.met.observe("job", time.Since(start))
+}
+
+func (s *Server) escapeHatch(w http.ResponseWriter, r *http.Request) {
+	_ = r
+	s.collector.Start(r.Context(), "route") // collector owns trace creation
+}
+
+func (s *Server) handleDeadline(w http.ResponseWriter, r *http.Request) {
+	// The escape hatch: a justified raw clock read.
+	deadline := time.Now().Add(budget) //lint:allow tracespan -- deadline arithmetic, not timing
+	//lint:allow tracespan -- line-above form
+	_ = time.Since(deadline)
+}
+
+func other() {
+	// Same selector names on other receivers are different APIs.
+	_ = clock.Now()
+	_ = tracer.NewTrace("x")
+	_ = othertrace.Span{}
+	_ = mytime.Since(t0)
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// tracespanRule fences request-time observability in internal/service to the
+// internal/trace helpers. Two invariants, both syntactic:
+//
+//  1. No hand-rolled timing in HTTP handlers: a time.Now()/time.Since() pair
+//     inside a handle* function is a span the trace subsystem cannot see —
+//     it never nests under the request's trace, never reaches the ring or
+//     the stream, and double-counts against the histogram choke points.
+//     Handlers that want timing start a span (trace.StartSpan) and let the
+//     collector do the bookkeeping. Timing outside handlers (worker-side
+//     metrics, uptime) is not fenced.
+//
+//  2. No hand-constructed trace values anywhere in serving code: a
+//     trace.Span{}/trace.Trace{} composite literal bypasses the ID
+//     allocation, parent linking, and span-cap accounting that make
+//     snapshots well-formed, and a trace.NewTrace call bypasses the
+//     collector, so the trace is never retained, sampled, or streamed.
+//     Serving code creates traces through the collector's Start and spans
+//     through trace.StartSpan.
+//
+// Heuristic (no type info): selector calls on the identifiers time / trace
+// and composite literals whose type is a selector on trace. A local variable
+// shadowing those package names would false-positive; none exists, and
+// //lint:allow tracespan is the documented escape hatch.
+var tracespanRule = &Rule{
+	Name: "tracespan",
+	Doc:  "request timing and span construction in internal/service only via internal/trace helpers",
+	Applies: func(path string) bool {
+		return !isTestFile(path) && underAny(path, "internal/service")
+	},
+	Check: checkTraceSpan,
+}
+
+// timingFuncs are the time entry points that constitute hand-rolled timing.
+var timingFuncs = map[string]bool{"Now": true, "Since": true}
+
+func checkTraceSpan(f *File) []Diagnostic {
+	// Collect the body ranges of handle* functions: the timing fence applies
+	// only inside them.
+	type posRange struct{ lo, hi token.Pos }
+	var handlers []posRange
+	for _, d := range f.AST.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := fd.Name.Name
+		if strings.HasPrefix(name, "handle") || strings.HasPrefix(name, "Handle") {
+			handlers = append(handlers, posRange{fd.Body.Pos(), fd.Body.End()})
+		}
+	}
+	inHandler := func(p token.Pos) bool {
+		for _, r := range handlers {
+			if r.lo <= p && p < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Diagnostic
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if recv.Name == "time" && timingFuncs[sel.Sel.Name] && inHandler(n.Pos()) {
+				out = append(out, f.diag(n.Pos(), "tracespan",
+					"hand-rolled time.%s in a handler: start a span via trace.StartSpan so the timing lands in the request's trace", sel.Sel.Name))
+			}
+			if recv.Name == "trace" && sel.Sel.Name == "NewTrace" {
+				out = append(out, f.diag(n.Pos(), "tracespan",
+					"trace.NewTrace in serving code bypasses the collector: the trace is never retained, sampled, or streamed — use the collector's Start"))
+			}
+		case *ast.CompositeLit:
+			sel, ok := n.Type.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok || recv.Name != "trace" {
+				return true
+			}
+			if sel.Sel.Name == "Span" || sel.Sel.Name == "Trace" {
+				out = append(out, f.diag(n.Pos(), "tracespan",
+					"hand-constructed trace.%s: spans and traces come from trace.StartSpan / the collector, which own IDs, parent links and the span cap", sel.Sel.Name))
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -112,6 +112,12 @@ type RouteResponse struct {
 	// TiersAttempted lists every ladder rung tried, best first, including
 	// the one that served.
 	TiersAttempted []string `json:"tiers_attempted,omitempty"`
+	// TraceID names this request's trace, retrievable via GET /v1/trace/{id}
+	// while the trace ring retains it. Empty when tracing is disabled. Each
+	// response carries the id of the request that produced it — a cached
+	// answer carries the cache hit's (short) trace, not the original
+	// computation's.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // TreeNode is the wire form of one buffered-routing-tree vertex.

@@ -1,0 +1,48 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the human-facing build version reported on /v1/stats,
+// overridable at link time:
+//
+//	go build -ldflags "-X merlin/internal/service.Version=v1.2.3" ./cmd/merlind
+var Version = "dev"
+
+// BuildInfo identifies the serving binary on /v1/stats, so "which build is
+// this latency from" has an answer inside the stats payload itself.
+type BuildInfo struct {
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	OS          string `json:"os"`
+	Arch        string `json:"arch"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// buildInfo assembles BuildInfo from the linker-set Version plus whatever
+// VCS stamps the toolchain embedded (absent under plain `go test`).
+func buildInfo() BuildInfo {
+	bi := BuildInfo{
+		Version:   Version,
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				bi.VCSRevision = s.Value
+			case "vcs.time":
+				bi.VCSTime = s.Value
+			case "vcs.modified":
+				bi.VCSModified = s.Value == "true"
+			}
+		}
+	}
+	return bi
+}

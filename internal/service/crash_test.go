@@ -17,6 +17,7 @@ import (
 
 	"merlin/internal/journal"
 	"merlin/internal/net"
+	"merlin/internal/trace"
 )
 
 // TestCrashRecovery is the durability acceptance test: a real merlind-shaped
@@ -89,6 +90,22 @@ func TestCrashRecovery(t *testing.T) {
 	// --- Phase 2: inject what a crash can leave behind. ---
 	tearJournalTail(t, filepath.Join(dir, "wal"))
 	flipStoredResults(t, filepath.Join(dir, "store"))
+	tearAuditTail(t, filepath.Join(dir, "audit"))
+
+	// The kill plus the torn line must leave a verifiable audit chain:
+	// every acknowledged record intact and in order, the torn tail flagged
+	// as the benign crash artifact it is (this is what `merlind
+	// -audit-verify -journal-dir DIR` runs).
+	preRep, err := trace.VerifyAudit(filepath.Join(dir, "audit"))
+	if err != nil {
+		t.Fatalf("audit chain broken after crash: %v", err)
+	}
+	if !preRep.Truncated {
+		t.Error("torn audit tail not reported by verification")
+	}
+	if preRep.Records == 0 {
+		t.Error("no acknowledged audit records survived the crash")
+	}
 
 	// --- Phase 3: recover in-process and verify. ---
 	s, err := NewDurable(Config{Workers: 2, JournalDir: dir})
@@ -125,7 +142,7 @@ func TestCrashRecovery(t *testing.T) {
 	}
 	// The idempotency mapping survived: resubmitting key 0 with the same
 	// body names the original job, never a new one.
-	re, created, err := s.SubmitJob(&RouteRequest{Net: nets[0]}, "crash-key-0")
+	re, created, err := s.SubmitJob(context.Background(), &RouteRequest{Net: nets[0]}, "crash-key-0")
 	if err != nil || created || re.ID != acks[0].id {
 		t.Errorf("post-crash resubmit: id=%s created=%v err=%v, want %s/false/nil", re.ID, created, err, acks[0].id)
 	}
@@ -134,6 +151,101 @@ func TestCrashRecovery(t *testing.T) {
 	// one quarantine must have happened while re-serving results above.)
 	if q := s.store.Stats().Quarantined; q == 0 {
 		t.Error("no corrupted store entry was quarantined")
+	}
+
+	// --- Phase 4: the recovery itself is audited and the chain still holds. ---
+	// Recovery repaired the torn tail and extended the chain with the
+	// recovered/started/done lifecycle of every replayed job.
+	events := readAuditEvents(t, filepath.Join(dir, "audit"))
+	for _, a := range acks {
+		if !events[a.id]["accepted"] {
+			t.Errorf("job %s has no accepted audit record", a.id)
+		}
+		if !events[a.id]["done"] {
+			t.Errorf("job %s has no done audit record after recovery", a.id)
+		}
+	}
+	var recovered bool
+	for _, kinds := range events {
+		recovered = recovered || kinds["recovered"]
+	}
+	if !recovered {
+		t.Error("recovery replayed pending jobs but audited no recovered event")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown before tamper check: %v", err)
+	}
+	postRep, err := trace.VerifyAudit(filepath.Join(dir, "audit"))
+	if err != nil {
+		t.Fatalf("audit chain broken after recovery: %v", err)
+	}
+	if postRep.Records <= preRep.Records {
+		t.Errorf("recovery extended the chain to %d records, want > %d", postRep.Records, preRep.Records)
+	}
+	if postRep.Truncated {
+		t.Error("torn audit tail still present after recovery repaired it")
+	}
+
+	// A flipped bit in an acknowledged record is not a crash artifact — it is
+	// tampering, and verification must refuse the chain.
+	flipAuditRecord(t, filepath.Join(dir, "audit"))
+	if _, err := trace.VerifyAudit(filepath.Join(dir, "audit")); err == nil {
+		t.Error("bit-flipped audit record passed verification")
+	}
+}
+
+// tearAuditTail appends a partial record with no trailing newline to the
+// audit log — the artifact of a crash mid-append, which by the append
+// protocol was never acknowledged.
+func tearAuditTail(t *testing.T, auditDir string) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(auditDir, "audit.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("no audit log to tear: %v", err)
+	}
+	if _, err := f.Write([]byte(`{"seq":99999,"event":"torn-a`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readAuditEvents decodes the audit log into job → set of event kinds.
+func readAuditEvents(t *testing.T, auditDir string) map[string]map[string]bool {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(auditDir, "audit.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := map[string]map[string]bool{}
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec trace.AuditRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("audit line not JSON: %v (%q)", err, line)
+		}
+		if events[rec.Job] == nil {
+			events[rec.Job] = map[string]bool{}
+		}
+		events[rec.Job][rec.Event] = true
+	}
+	return events
+}
+
+// flipAuditRecord flips one bit inside the first complete audit record.
+func flipAuditRecord(t *testing.T, auditDir string) {
+	t.Helper()
+	path := filepath.Join(auditDir, "audit.log")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[10] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -28,6 +28,8 @@ const maxBodyBytes = 8 << 20
 //	POST /v1/jobs      submit an async job; 202 with a job ID (200 when an
 //	                   Idempotency-Key deduplicates to an existing job)
 //	GET  /v1/jobs/{id} poll a job; terminal states carry the result inline
+//	GET  /v1/trace/{id}    one retained trace as OTLP-shaped JSON
+//	GET  /v1/trace/stream  live NDJSON firehose of completed traces
 //	GET  /v1/healthz   liveness; 503 once draining
 //	GET  /v1/stats     metrics snapshot
 //
@@ -41,6 +43,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/trace/stream", s.handleTraceStream)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s.recoverWare(mux)
@@ -155,7 +159,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	st, created, err := s.SubmitJob(&req, r.Header.Get("Idempotency-Key"))
+	st, created, err := s.SubmitJob(r.Context(), &req, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -229,6 +233,9 @@ type ErrorBody struct {
 //	                            budget, a quieter server, or allow_degraded
 //	                            could still serve this request
 //	404 job_not_found           ErrJobNotFound — unknown (or evicted) job ID
+//	404 trace_not_found         ErrTraceNotFound — trace id not retained
+//	                            (evicted from the ring, sampled out, or
+//	                            tracing disabled); "gone", not "wrong"
 //	409 idempotency_conflict    ErrIdemConflict — Idempotency-Key reused with
 //	                            a different request body; do not retry
 //	429 queue_full              ErrQueueFull — bounded queue rejected the
@@ -263,6 +270,8 @@ func classifyError(err error) (status int, code string) {
 		return http.StatusUnprocessableEntity, "budget_exceeded"
 	case errors.Is(err, ErrJobNotFound):
 		return http.StatusNotFound, "job_not_found"
+	case errors.Is(err, ErrTraceNotFound):
+		return http.StatusNotFound, "trace_not_found"
 	case errors.Is(err, ErrIdemConflict):
 		return http.StatusConflict, "idempotency_conflict"
 	case errors.Is(err, ErrQueueFull):

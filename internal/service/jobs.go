@@ -188,7 +188,11 @@ func fingerprint(req *RouteRequest) string {
 // is ErrIdemConflict. The returned status is the acknowledgment: once it is
 // non-error, the job survives a crash (under a durable fsync policy) and
 // will eventually reach a terminal state.
-func (s *Server) SubmitJob(req *RouteRequest, idemKey string) (st *JobStatus, created bool, err error) {
+//
+// A traced submission (ctx from a traced handler) records the acceptance
+// path — the WAL append and its fsync — as spans; the acceptance itself is
+// also an "accepted" record in the hash-chained audit log.
+func (s *Server) SubmitJob(ctx context.Context, req *RouteRequest, idemKey string) (st *JobStatus, created bool, err error) {
 	if _, _, err := s.prepare(req); err != nil {
 		return nil, false, err
 	}
@@ -208,7 +212,8 @@ func (s *Server) SubmitJob(req *RouteRequest, idemKey string) (st *JobStatus, cr
 			return prev.statusLocked(), false, nil
 		}
 	}
-	if err := s.evictForNewJobLocked(); err != nil {
+	evicted, err := s.evictForNewJobLocked()
+	if err != nil {
 		s.jobsMu.Unlock()
 		return nil, false, err
 	}
@@ -216,7 +221,7 @@ func (s *Server) SubmitJob(req *RouteRequest, idemKey string) (st *JobStatus, cr
 	if s.jour != nil {
 		rec, merr := json.Marshal(walRecord{T: "accept", ID: e.id, Idem: e.idem, FP: e.fp, Req: req})
 		if merr == nil {
-			merr = s.jour.Append(rec)
+			merr = s.jour.AppendCtx(ctx, rec)
 		}
 		if merr != nil {
 			s.jobsMu.Unlock()
@@ -229,8 +234,29 @@ func (s *Server) SubmitJob(req *RouteRequest, idemKey string) (st *JobStatus, cr
 	st = e.statusLocked()
 	s.jobsMu.Unlock()
 
+	if evicted != "" {
+		s.auditEvent("evicted", evicted, nil)
+	}
+	attrs := map[string]string{"fp": fp}
+	if idemKey != "" {
+		attrs["idem"] = idemKey
+	}
+	s.auditEvent("accepted", e.id, attrs)
 	s.spawnJob(e)
 	return st, true, nil
+}
+
+// auditEvent appends one job-lifecycle record to the hash-chained audit log
+// (no-op on servers without one). Audit failures degrade tamper evidence,
+// never the job: the WAL, not the audit chain, is the source of truth.
+func (s *Server) auditEvent(event, jobID string, attrs map[string]string) {
+	if s.audit == nil {
+		return
+	}
+	if err := s.audit.Append(event, jobID, attrs); err != nil {
+		s.met.inc("audit.errors")
+		log.Printf("service: audit record %s for job %s not written: %v", event, jobID, err)
+	}
 }
 
 // registerJobLocked indexes a new entry. Callers hold jobsMu.
@@ -243,15 +269,16 @@ func (s *Server) registerJobLocked(e *jobEntry) {
 }
 
 // evictForNewJobLocked keeps the job table bounded: when full, the oldest
-// terminal job is dropped; if every job is still live the submission is
+// terminal job is dropped (its id returned so the caller can audit the
+// eviction off the lock); if every job is still live the submission is
 // rejected like a full queue. Callers hold jobsMu.
-func (s *Server) evictForNewJobLocked() error {
+func (s *Server) evictForNewJobLocked() (evicted string, err error) {
 	max := s.cfg.MaxJobs
 	if max <= 0 {
-		return nil
+		return "", nil
 	}
 	if len(s.jobOrder) < max {
-		return nil
+		return "", nil
 	}
 	for i, id := range s.jobOrder {
 		e, ok := s.jobsByID[id]
@@ -267,9 +294,9 @@ func (s *Server) evictForNewJobLocked() error {
 		}
 		s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
 		s.met.inc("jobs.evicted")
-		return nil
+		return e.id, nil
 	}
-	return fmt.Errorf("%w: job table full (%d live jobs)", ErrQueueFull, len(s.jobOrder))
+	return "", fmt.Errorf("%w: job table full (%d live jobs)", ErrQueueFull, len(s.jobOrder))
 }
 
 // spawnJob starts the async runner for an accepted job.
@@ -294,6 +321,7 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	e.state = JobRunning
 	req := e.req
 	s.jobsMu.Unlock()
+	s.auditEvent("started", e.id, nil)
 
 	// Async jobs run on the server's clock, not a request socket's: the
 	// submitting client may be long gone. Route applies the request's own
@@ -328,6 +356,7 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	if err != nil {
 		_, code := classifyError(err)
 		s.finishJob(e, walRecord{T: "fail", ID: e.id, Error: err.Error(), Code: code})
+		s.auditEvent("failed", e.id, map[string]string{"code": code})
 		return
 	}
 
@@ -351,6 +380,11 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	}
 	rec := walRecord{T: "done", ID: e.id, State: string(state), Key: resultKey}
 	s.finishJobWithResult(e, rec, state, resultKey, resp)
+	attrs := map[string]string{"state": string(state)}
+	if resultKey != "" {
+		attrs["key"] = resultKey
+	}
+	s.auditEvent("done", e.id, attrs)
 }
 
 // jobResultKey computes the store key of a finished job's result: the
@@ -626,13 +660,14 @@ func (s *Server) storeLookup(key string, fl flows.ID, floor degrade.Tier) (*Rout
 
 // persistResult writes one response through to the disk store, so cached
 // answers survive restarts. Failures degrade durability, never the request.
-func (s *Server) persistResult(key string, resp *RouteResponse) {
+// A traced ctx records the write as a "journal.persist" span.
+func (s *Server) persistResult(ctx context.Context, key string, resp *RouteResponse) {
 	if s.store == nil {
 		return
 	}
 	b, err := json.Marshal(resp)
 	if err == nil {
-		err = s.store.Put(key, b)
+		err = s.store.PutCtx(ctx, key, b)
 	}
 	if err != nil {
 		s.met.inc("store.write_errors")

@@ -144,7 +144,7 @@ func TestJobLifecycleHTTP(t *testing.T) {
 func TestJobValidationRejected(t *testing.T) {
 	s := New(Config{Workers: 1})
 	defer s.Shutdown(context.Background())
-	if _, _, err := s.SubmitJob(&RouteRequest{}, ""); err == nil {
+	if _, _, err := s.SubmitJob(context.Background(), &RouteRequest{}, ""); err == nil {
 		t.Fatal("missing net accepted as an async job")
 	}
 }
@@ -155,16 +155,16 @@ func TestJobTableBounded(t *testing.T) {
 	s := New(Config{Workers: 1, MaxJobs: 2})
 	defer s.Shutdown(context.Background())
 	req := &RouteRequest{Net: testNet(t, 6, 21)}
-	st1, _, err := s.SubmitJob(req, "a")
+	st1, _, err := s.SubmitJob(context.Background(), req, "a")
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitTerminal(t, s, st1.ID, 30*time.Second)
-	if _, _, err := s.SubmitJob(&RouteRequest{Net: testNet(t, 6, 22)}, "b"); err != nil {
+	if _, _, err := s.SubmitJob(context.Background(), &RouteRequest{Net: testNet(t, 6, 22)}, "b"); err != nil {
 		t.Fatal(err)
 	}
 	// Table is at capacity; the terminal job "a" must be evicted for "c".
-	if _, _, err := s.SubmitJob(&RouteRequest{Net: testNet(t, 6, 23)}, "c"); err != nil {
+	if _, _, err := s.SubmitJob(context.Background(), &RouteRequest{Net: testNet(t, 6, 23)}, "c"); err != nil {
 		t.Fatalf("submission with an evictable terminal job: %v", err)
 	}
 	if _, err := s.JobStatus(st1.ID); err == nil {
@@ -185,7 +185,7 @@ func TestJobDurableRecovery(t *testing.T) {
 	}
 
 	req := &RouteRequest{Net: testNet(t, 6, 31)}
-	ack, created, err := s.SubmitJob(req, "idem-31")
+	ack, created, err := s.SubmitJob(context.Background(), req, "idem-31")
 	if err != nil || !created {
 		t.Fatalf("SubmitJob: created=%v err=%v", created, err)
 	}
@@ -218,7 +218,7 @@ func TestJobDurableRecovery(t *testing.T) {
 	}
 	// Idempotency survives the restart: resubmitting the same key returns
 	// the original job, not a new one.
-	dup, created, err := s2.SubmitJob(req, "idem-31")
+	dup, created, err := s2.SubmitJob(context.Background(), req, "idem-31")
 	if err != nil || created || dup.ID != ack.ID {
 		t.Errorf("post-restart resubmit: id=%s created=%v err=%v, want %s/false/nil", dup.ID, created, err, ack.ID)
 	}
@@ -248,7 +248,7 @@ func TestJobDegradedTruthfulAfterRecovery(t *testing.T) {
 	// MaxSolutions 1 starves the DP tiers deterministically; the ladder
 	// serves from lttree (see the degradation-ladder tests).
 	req := &RouteRequest{Net: testNet(t, 8, 33), AllowDegraded: true, Budget: &Budget{MaxSolutions: 1}}
-	ack, _, err := s.SubmitJob(req, "idem-33")
+	ack, _, err := s.SubmitJob(context.Background(), req, "idem-33")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestJobCorruptResultRequeued(t *testing.T) {
 	defer s.Shutdown(context.Background())
 
 	req := &RouteRequest{Net: testNet(t, 6, 41)}
-	ack, _, err := s.SubmitJob(req, "")
+	ack, _, err := s.SubmitJob(context.Background(), req, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,7 +338,7 @@ func TestDurabilityUnavailable(t *testing.T) {
 	}
 	defer s.Shutdown(context.Background())
 	faultinject.Arm(faultinject.SiteJournalAppend, faultinject.Fault{Mode: faultinject.ModeError})
-	_, _, err = s.SubmitJob(&RouteRequest{Net: testNet(t, 6, 51)}, "")
+	_, _, err = s.SubmitJob(context.Background(), &RouteRequest{Net: testNet(t, 6, 51)}, "")
 	faultinject.Reset()
 	if err == nil {
 		t.Fatal("journal append failure still acknowledged the job")

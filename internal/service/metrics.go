@@ -104,13 +104,60 @@ type Bucket struct {
 	Count uint64  `json:"count"`
 }
 
-// HistogramStats is the wire form of one latency histogram.
+// HistogramStats is the wire form of one latency histogram. The quantiles
+// are bucket-interpolated estimates (exact within a bucket's width): /v1/stats
+// consumers want "what is p99 right now" answered directly, not a bucket
+// array to post-process — the buckets stay for consumers that do want the
+// full distribution.
 type HistogramStats struct {
 	Count   uint64   `json:"count"`
 	SumMS   float64  `json:"sum_ms"`
 	MinMS   float64  `json:"min_ms"`
 	MaxMS   float64  `json:"max_ms"`
+	MeanMS  float64  `json:"mean_ms"`
+	P50MS   float64  `json:"p50_ms"`
+	P95MS   float64  `json:"p95_ms"`
+	P99MS   float64  `json:"p99_ms"`
 	Buckets []Bucket `json:"buckets"`
+}
+
+// quantile estimates the q-th (0 < q <= 1) latency quantile from the
+// histogram's buckets by linear interpolation inside the bucket holding the
+// target rank. The open-ended +Inf bucket has no upper edge to interpolate
+// toward, so samples landing there report the observed max — a truthful
+// ceiling rather than an invented one. Callers hold m.mu.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	cum := uint64(0)
+	for i, b := range h.buckets {
+		prev := float64(cum)
+		cum += b
+		if float64(cum) < rank || b == 0 {
+			continue
+		}
+		if i >= len(latencyBoundsMS) {
+			return h.max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = latencyBoundsMS[i-1]
+		}
+		hi := latencyBoundsMS[i]
+		// Interpolate the rank's position inside [lo, hi], clamped to the
+		// observed extremes so tiny samples don't report impossible values.
+		est := lo + (hi-lo)*(rank-prev)/float64(b)
+		if est < h.min {
+			est = h.min
+		}
+		if est > h.max {
+			est = h.max
+		}
+		return est
+	}
+	return h.max
 }
 
 // snapshot returns a consistent copy of all counters and histograms.
@@ -123,7 +170,13 @@ func (m *metrics) snapshot() (map[string]uint64, map[string]HistogramStats) {
 	}
 	hists := make(map[string]HistogramStats, len(m.hists))
 	for k, h := range m.hists {
-		hs := HistogramStats{Count: h.count, SumMS: h.sum, MinMS: h.min, MaxMS: h.max}
+		hs := HistogramStats{
+			Count: h.count, SumMS: h.sum, MinMS: h.min, MaxMS: h.max,
+			P50MS: h.quantile(0.50), P95MS: h.quantile(0.95), P99MS: h.quantile(0.99),
+		}
+		if h.count > 0 {
+			hs.MeanMS = h.sum / float64(h.count)
+		}
 		cum := uint64(0)
 		for i, b := range h.buckets {
 			cum += b

@@ -16,6 +16,7 @@ import (
 	"merlin/internal/faultinject"
 	"merlin/internal/flows"
 	"merlin/internal/journal"
+	"merlin/internal/trace"
 )
 
 // Config sizes the service. Zero values take the documented defaults.
@@ -89,6 +90,20 @@ type Config struct {
 	// below the high-water mark; default 2s.
 	BrownoutMaxDrain time.Duration
 
+	// TraceRing is how many completed traces the in-memory ring retains for
+	// GET /v1/trace/{id}; default 512, negative disables tracing entirely
+	// (requests then pay only internal/trace's nil fast path — one context
+	// lookup per instrumentation point).
+	TraceRing int
+	// TraceSlow is the slow-trace threshold: a trace whose root span ran at
+	// least this long is always retained, regardless of sampling; default
+	// 250ms, negative disables the exemption.
+	TraceSlow time.Duration
+	// TraceSampleN keeps one in N traces below the slow threshold; default 1
+	// (keep everything — retention is bounded by the ring either way; raise
+	// it when stream subscribers or trace serialization show up in profiles).
+	TraceSampleN int
+
 	// onJobStart, when set (tests only), runs as a worker picks up a job —
 	// it lets shutdown and queue tests pin a job as provably in flight.
 	onJobStart func()
@@ -134,6 +149,15 @@ func (c Config) withDefaults() Config {
 	if c.BrownoutMaxDrain == 0 {
 		c.BrownoutMaxDrain = 2 * time.Second
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 512
+	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = 250 * time.Millisecond
+	}
+	if c.TraceSampleN == 0 {
+		c.TraceSampleN = 1
+	}
 	if c.Fsync == "" {
 		c.Fsync = string(journal.FsyncAlways)
 	}
@@ -174,17 +198,19 @@ type job struct {
 	key   string         // result-cache key (tier suffix applied at Put)
 	eng   string         // engine-cache key (tier suffix applied per rung)
 	done  chan jobResult // buffered(1): the worker never blocks on delivery
+	qspan *trace.Span    // "queue.wait": opened at submit, ended at dequeue
 }
 
 // Server is the routing service: a bounded job queue feeding a fixed worker
 // pool, fronted by a result cache. Create with New, serve via Handler or the
 // in-process Route/Batch, stop with Shutdown.
 type Server struct {
-	cfg   Config
-	jobs  chan *job
-	cache *lruCache
-	met   *metrics
-	start time.Time
+	cfg    Config
+	jobs   chan *job
+	cache  *lruCache
+	met    *metrics
+	traces *trace.Collector // nil when Config.TraceRing < 0
+	start  time.Time
 
 	mu        sync.Mutex // guards draining against concurrent submits
 	draining  bool
@@ -199,6 +225,7 @@ type Server struct {
 	// Durability (nil/zero on servers built by New; see NewDurable).
 	jour  *journal.Journal // write-ahead log of job accept/terminal records
 	store *journal.Store   // checksummed persistent result store
+	audit *trace.AuditLog  // hash-chained job-lifecycle audit log
 
 	jobsMu        sync.Mutex // guards the async job table below
 	jobsByID      map[string]*jobEntry
@@ -245,11 +272,21 @@ func NewDurable(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: opening journal: %w", err)
 	}
+	// The audit chain lives beside the WAL: job lifecycle events are part of
+	// the durability story (tamper-evident history of what was acknowledged
+	// and what became of it), so a durable server that cannot audit refuses
+	// to start, same as one that cannot journal.
+	audit, err := trace.OpenAudit(filepath.Join(cfg.JournalDir, "audit"))
+	if err != nil {
+		_ = jour.Close()
+		return nil, fmt.Errorf("service: opening audit log: %w", err)
+	}
 	s := newServer(cfg)
-	s.jour, s.store = jour, store
+	s.jour, s.store, s.audit = jour, store, audit
 	pending, err := s.recoverJobs()
 	if err != nil {
 		_ = jour.Close()
+		_ = audit.Close()
 		return nil, fmt.Errorf("service: journal replay: %w", err)
 	}
 	s.startWorkers()
@@ -258,6 +295,7 @@ func NewDurable(cfg Config) (*Server, error) {
 		log.Printf("service: recovery re-enqueued %d acknowledged job(s)", n)
 	}
 	for _, e := range pending {
+		s.auditEvent("recovered", e.id, nil)
 		s.spawnJob(e)
 	}
 	return s, nil
@@ -270,6 +308,7 @@ func newServer(cfg Config) *Server {
 		jobs:       make(chan *job, cfg.QueueDepth),
 		cache:      newLRU(cfg.CacheSize),
 		met:        newMetrics(),
+		traces:     trace.NewCollector(cfg.TraceRing, cfg.TraceSlow, cfg.TraceSampleN),
 		start:      time.Now(),
 		jobsByID:   make(map[string]*jobEntry),
 		jobsByIdem: make(map[string]*jobEntry),
@@ -293,7 +332,35 @@ func (s *Server) startWorkers() {
 // Route runs one request through the cache and the pool. It blocks until the
 // result is ready, the context is done, or the request is rejected
 // (ErrBadRequest / ErrQueueFull / ErrShuttingDown).
+//
+// When tracing is enabled (Config.TraceRing >= 0) every Route call is a
+// trace: a "route" root span over the whole call, with child spans for the
+// cache probe, the queue wait, each ladder rung, the DP phases inside it,
+// and any journal/store writes. The trace id is returned on the response
+// (trace_id) and the trace is retrievable via GET /v1/trace/{id} until the
+// ring evicts it.
 func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, error) {
+	ctx, tr, root := s.traces.Start(ctx, "route")
+	resp, err := s.routeTraced(ctx, req)
+	if root != nil {
+		if req.Net != nil {
+			root.SetAttr("net", req.Net.Name)
+		}
+		if err != nil {
+			root.SetAttr("error", err.Error())
+		} else {
+			root.SetAttr("tier", resp.Tier)
+			// The response owns its trace id; cached responses are copied
+			// before this write, so the cache never aliases a trace id.
+			resp.TraceID = tr.ID()
+		}
+	}
+	s.traces.Finish(tr, root)
+	return resp, err
+}
+
+// routeTraced is Route's body; ctx may carry the trace opened above.
+func (s *Server) routeTraced(ctx context.Context, req *RouteRequest) (*RouteResponse, error) {
 	prof, fl, err := s.prepare(req)
 	if err != nil {
 		return nil, err
@@ -313,8 +380,11 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 	}
 	key, eng := cacheKeys(req, fl, prof)
 	if !req.NoCache {
+		_, csp := trace.StartSpan(ctx, "cache.lookup")
 		if v, ok := s.cacheLookup(key, fl, floor); ok {
 			s.met.inc("cache.hits")
+			csp.SetAttr("result", "hit")
+			csp.End()
 			hit := *v // shallow copy; cached responses are immutable
 			hit.Cached = true
 			return &hit, nil
@@ -323,14 +393,23 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 		// previous process's work) serves and re-warms the cache.
 		if v, ok := s.storeLookup(key, fl, floor); ok {
 			s.met.inc("cache.store_warms")
+			csp.SetAttr("result", "store_warm")
+			csp.End()
 			hit := *v
 			hit.Cached = true
 			return &hit, nil
 		}
 		s.met.inc("cache.misses")
+		csp.SetAttr("result", "miss")
+		csp.End()
 	}
-	j := &job{ctx: ctx, req: req, prof: prof, flow: fl, floor: floor, key: key, eng: eng, done: make(chan jobResult, 1)}
+	// queue.wait spans admission to dequeue; the worker ends it the moment
+	// it picks the job up (runJob), so its duration is pure queue time.
+	_, qspan := trace.StartSpan(ctx, "queue.wait")
+	j := &job{ctx: ctx, req: req, prof: prof, flow: fl, floor: floor, key: key, eng: eng, done: make(chan jobResult, 1), qspan: qspan}
 	if err := s.submit(j); err != nil {
+		qspan.SetAttr("rejected", "true")
+		qspan.End()
 		return nil, err
 	}
 	select {
@@ -343,9 +422,12 @@ func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, 
 			// a degraded answer must never satisfy a full-tier request.
 			tk := tieredKey(key, r.resp.Tier)
 			s.cache.Put(tk, r.resp)
-			s.persistResult(tk, r.resp)
+			s.persistResult(ctx, tk, r.resp)
 		}
-		return r.resp, nil
+		// Copy before the caller (Route) stamps a trace id on it: the cached
+		// object must stay immutable once Put makes it shared.
+		out := *r.resp
+		return &out, nil
 	case <-ctx.Done():
 		// The worker sees the same ctx and aborts between DP sub-problems;
 		// done is buffered so its late delivery is dropped harmlessly.
@@ -494,6 +576,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// snapshot so the next boot replays one record instead of the whole log,
 	// and close the journal.
 	s.runners.Wait()
+	// Closing the collector ends any /v1/trace/stream handlers (their
+	// subscriber channels close) so the HTTP server's own shutdown is not
+	// held open by firehose readers.
+	s.traces.Close()
 	if s.jour != nil {
 		s.jobsMu.Lock()
 		s.snapshotLocked()
@@ -501,6 +587,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := s.jour.Close(); err != nil {
 			log.Printf("service: journal close: %v", err)
 		}
+	}
+	if err := s.audit.Close(); err != nil {
+		log.Printf("service: audit close: %v", err)
 	}
 	return nil
 }
@@ -555,6 +644,7 @@ func (s *Server) runJobGuarded(j *job, engines *lruCache) {
 }
 
 func (s *Server) runJob(j *job, engines *lruCache) {
+	j.qspan.End() // dequeue: queue.wait measured admission to here
 	if s.cfg.onJobStart != nil {
 		s.cfg.onJobStart()
 	}
@@ -635,7 +725,9 @@ func (s *Server) runJob(j *job, engines *lruCache) {
 
 // Stats is the /v1/stats document.
 type Stats struct {
-	UptimeSeconds float64                   `json:"uptime_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build identifies what is serving: version, Go toolchain, VCS revision.
+	Build         BuildInfo                 `json:"build"`
 	Workers       int                       `json:"workers"`
 	QueueDepth    int                       `json:"queue_depth"`
 	QueueCapacity int                       `json:"queue_capacity"`
@@ -647,6 +739,9 @@ type Stats struct {
 	TiersServed map[string]uint64 `json:"tiers_served"`
 	// Brownout is the overload controller's state.
 	Brownout BrownoutStats `json:"brownout"`
+	// Trace reports the trace collector (ring occupancy, sampling, stream
+	// subscribers); absent when tracing is disabled (TraceRing < 0).
+	Trace *trace.CollectorStats `json:"trace,omitempty"`
 	// Durability reports the WAL, the result store and crash recovery;
 	// present only on servers created with NewDurable.
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -737,9 +832,15 @@ func (s *Server) Stats() Stats {
 			JobsTracked:           tracked,
 		}
 	}
+	var tcs *trace.CollectorStats
+	if s.traces != nil {
+		c := s.traces.Stats()
+		tcs = &c
+	}
 	bt := s.brown.tier()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         buildInfo(),
 		Workers:       s.cfg.Workers,
 		QueueDepth:    len(s.jobs),
 		QueueCapacity: s.cfg.QueueDepth,
@@ -754,6 +855,7 @@ func (s *Server) Stats() Stats {
 			Raised:  counters["brownout.raised"],
 			Lowered: counters["brownout.lowered"],
 		},
+		Trace:      tcs,
 		Durability: dur,
 	}
 }

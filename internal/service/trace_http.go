@@ -1,0 +1,65 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrTraceNotFound means GET /v1/trace/{id} named a trace the ring no
+// longer (or never) retained — evicted, sampled out, or tracing disabled
+// (404, code "trace_not_found").
+var ErrTraceNotFound = errors.New("service: trace not found")
+
+// handleTraceGet serves one retained trace as OTLP-shaped JSON. Traces are
+// best-effort observability data: an id can stop resolving at any time
+// (ring eviction), so clients treat 404 as "gone", not as an error in their
+// own request.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.trace.get")
+	id := r.PathValue("id")
+	snap, ok := s.traces.Get(id)
+	if !ok {
+		s.writeError(w, fmt.Errorf("%w: %s", ErrTraceNotFound, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleTraceStream serves the live NDJSON firehose of completed traces:
+// one TraceJSON per line, flushed per trace, until the client goes away or
+// the server shuts down (the collector closes every subscriber channel on
+// Shutdown, which is what unblocks this handler during a drain). A consumer
+// that cannot keep up misses traces — the collector's sends never block —
+// rather than exerting backpressure on the serving path.
+func (s *Server) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.trace.stream")
+	// With tracing disabled Subscribe hands back a closed channel, so the
+	// stream is simply empty: headers, then EOF.
+	id, ch := s.traces.Subscribe(64)
+	defer s.traces.Unsubscribe(id)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case snap, ok := <-ch:
+			if !ok {
+				return // collector closed: server shutting down
+			}
+			if err := enc.Encode(snap); err != nil {
+				return // client gone mid-write
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

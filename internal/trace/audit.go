@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The audit log is a tamper-evident record of job lifecycle events
+// (accepted/started/done/failed/degraded/recovered/evicted): one NDJSON
+// line per event, each carrying the SHA-256 of its predecessor's exact line
+// bytes, so any later edit, deletion, or reordering of history breaks the chain
+// from that point on. It follows internal/journal's durability idiom —
+// append + fsync on the data file, fsync the directory on create/rotate,
+// quarantine (rename aside) rather than delete anything suspect — but
+// cannot import it: internal/trace is dependency-free by charter, and the
+// journal's CRC-framed binary segments answer a different question
+// (replayability) than the audit log's (tamper evidence).
+//
+// Crash semantics: appends are written line-at-a-time and fsynced, so a
+// kill -9 leaves at most one torn final line. A torn tail is not tampering
+// — Verify reports it as a truncation and the chain up to it as intact, and
+// Open drops it before resuming the chain. A broken hash on any *complete*
+// line is tampering: Open refuses to extend such a file (it is rotated to a
+// .corrupt-* name and a fresh chain begun) and Verify fails it.
+
+// auditFile is the audit log's file name inside its directory.
+const auditFile = "audit.log"
+
+// genesisHash seeds the chain: the first record's prev field.
+const genesisHash = "0000000000000000000000000000000000000000000000000000000000000000"
+
+// AuditRecord is one hash-chained audit line. Hashing covers the exact
+// serialized line bytes (sans trailing newline), so the chain pins the
+// bytes on disk, not a re-encoding.
+type AuditRecord struct {
+	Seq        uint64            `json:"seq"`
+	TSUnixNano int64             `json:"ts_unix_nano"`
+	Event      string            `json:"event"`
+	Job        string            `json:"job,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Prev       string            `json:"prev"`
+}
+
+// AuditLog appends hash-chained records to <dir>/audit.log.
+type AuditLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	dir  string
+	seq  uint64
+	prev string // hash of the last appended line
+}
+
+// ErrAuditTampered reports a complete audit line whose hash chain does not
+// match — manual edit, bit rot, or reordering, as opposed to a torn tail.
+var ErrAuditTampered = errors.New("trace: audit chain broken")
+
+// OpenAudit opens (creating if needed) the audit log in dir and resumes its
+// chain. A torn final line — the crash artifact — is truncated away. A
+// chain break in complete lines means the file was tampered with; rather
+// than extend a broken chain or destroy the evidence, the file is rotated
+// to audit.log.corrupt-<ts> and a fresh chain started.
+func OpenAudit(dir string) (*AuditLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: audit dir: %w", err)
+	}
+	path := filepath.Join(dir, auditFile)
+	st, err := scanAudit(path)
+	switch {
+	case err == nil && st.tornAt >= 0:
+		// Torn tail from a crash: drop the partial line, keep the chain.
+		if err := os.Truncate(path, st.tornAt); err != nil {
+			return nil, fmt.Errorf("trace: truncate torn audit tail: %w", err)
+		}
+	case errors.Is(err, ErrAuditTampered):
+		// Quarantine, never delete: the broken file is the evidence.
+		aside := path + fmt.Sprintf(".corrupt-%d", time.Now().UnixNano())
+		if rerr := os.Rename(path, aside); rerr != nil {
+			return nil, fmt.Errorf("trace: quarantine tampered audit log: %w", rerr)
+		}
+		st = auditScan{prev: genesisHash, tornAt: -1}
+	case err != nil:
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open audit log: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &AuditLog{f: f, dir: dir, seq: st.seq, prev: st.prev}, nil
+}
+
+// Append writes one event to the chain and fsyncs it. Lifecycle events are
+// rare relative to requests (a handful per job), so an fsync per record is
+// the right trade: every acknowledged event is on disk before the caller
+// proceeds.
+func (a *AuditLog) Append(event, job string, attrs map[string]string) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return errors.New("trace: audit log closed")
+	}
+	rec := AuditRecord{
+		Seq:        a.seq + 1,
+		TSUnixNano: time.Now().UnixNano(),
+		Event:      event,
+		Job:        job,
+		Attrs:      attrs,
+		Prev:       a.prev,
+	}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("trace: encode audit record: %w", err)
+	}
+	if _, err := a.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("trace: append audit record: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("trace: fsync audit log: %w", err)
+	}
+	sum := sha256.Sum256(line)
+	a.prev = hex.EncodeToString(sum[:])
+	a.seq = rec.Seq
+	return nil
+}
+
+// Close fsyncs and closes the log. Idempotent; nil-safe.
+func (a *AuditLog) Close() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Sync()
+	if cerr := a.f.Close(); err == nil {
+		err = cerr
+	}
+	a.f = nil
+	return err
+}
+
+// AuditReport is the result of verifying an audit chain.
+type AuditReport struct {
+	// Records is the number of chain-valid records.
+	Records int
+	// TailSeq is the last valid record's sequence number (0 when empty).
+	TailSeq uint64
+	// TailHash is the hex SHA-256 of the last valid line.
+	TailHash string
+	// Truncated reports a torn (unparseable) final line — the benign
+	// kill-mid-append artifact, tolerated and dropped by OpenAudit.
+	Truncated bool
+}
+
+// VerifyAudit walks <dir>/audit.log and checks every record's hash chain.
+// It returns ErrAuditTampered (wrapped, with the offending line number) on
+// any complete line whose prev hash, sequence, or JSON shape is wrong. A
+// missing file verifies as an empty, valid chain.
+func VerifyAudit(dir string) (*AuditReport, error) {
+	st, err := scanAudit(filepath.Join(dir, auditFile))
+	if err != nil {
+		return nil, err
+	}
+	return &AuditReport{
+		Records:   st.records,
+		TailSeq:   st.seq,
+		TailHash:  st.prev,
+		Truncated: st.tornAt >= 0,
+	}, nil
+}
+
+// auditScan is the result of walking a chain file.
+type auditScan struct {
+	records int
+	seq     uint64
+	prev    string
+	tornAt  int64 // byte offset of a torn final line; -1 when none
+}
+
+// scanAudit reads the chain file, verifying as it goes. An unparseable
+// final line is reported via tornAt; any other violation returns
+// ErrAuditTampered.
+func scanAudit(path string) (auditScan, error) {
+	st := auditScan{prev: genesisHash, tornAt: -1}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("trace: open audit log: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var offset int64
+	for lineNo := 1; ; lineNo++ {
+		line, err := r.ReadBytes('\n')
+		if len(line) == 0 && errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if err != nil && !errors.Is(err, io.EOF) {
+			return st, fmt.Errorf("trace: read audit log: %w", err)
+		}
+		if err != nil {
+			// Final line with no trailing newline. The append path writes
+			// line+newline in one call and only acknowledges after fsync, so
+			// a newline-less tail was never acknowledged — a crash artifact,
+			// not tampering, even if the visible prefix happens to parse.
+			st.tornAt = offset
+			return st, nil
+		}
+		body := bytes.TrimSuffix(line, []byte("\n"))
+		var rec AuditRecord
+		if jerr := json.Unmarshal(body, &rec); jerr != nil || rec.Event == "" {
+			return st, fmt.Errorf("%w: line %d is not a valid record", ErrAuditTampered, lineNo)
+		}
+		if rec.Prev != st.prev {
+			return st, fmt.Errorf("%w: line %d prev hash mismatch (chain says %s, record says %s)",
+				ErrAuditTampered, lineNo, short(st.prev), short(rec.Prev))
+		}
+		if rec.Seq != st.seq+1 {
+			return st, fmt.Errorf("%w: line %d seq %d, want %d", ErrAuditTampered, lineNo, rec.Seq, st.seq+1)
+		}
+		sum := sha256.Sum256(body)
+		st.prev = hex.EncodeToString(sum[:])
+		st.seq = rec.Seq
+		st.records++
+		offset += int64(len(line))
+	}
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12] + "…"
+	}
+	return h
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives a crash — the same idiom internal/journal uses for segments.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("trace: open audit dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) && !strings.Contains(err.Error(), "invalid argument") {
+		return fmt.Errorf("trace: fsync audit dir: %w", err)
+	}
+	return nil
+}

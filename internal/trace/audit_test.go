@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func appendEvents(t *testing.T, dir string, n int) {
+	t.Helper()
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatalf("OpenAudit: %v", err)
+	}
+	defer a.Close()
+	for i := 0; i < n; i++ {
+		if err := a.Append("accepted", "job-1", map[string]string{"fp": "abc"}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+}
+
+func TestAuditChainVerifies(t *testing.T) {
+	dir := t.TempDir()
+	appendEvents(t, dir, 5)
+	rep, err := VerifyAudit(dir)
+	if err != nil {
+		t.Fatalf("VerifyAudit: %v", err)
+	}
+	if rep.Records != 5 || rep.TailSeq != 5 || rep.Truncated {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Reopen resumes the chain rather than restarting it.
+	appendEvents(t, dir, 3)
+	rep, err = VerifyAudit(dir)
+	if err != nil {
+		t.Fatalf("VerifyAudit after reopen: %v", err)
+	}
+	if rep.Records != 8 || rep.TailSeq != 8 {
+		t.Fatalf("resumed report = %+v", rep)
+	}
+}
+
+func TestAuditEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := VerifyAudit(dir)
+	if err != nil || rep.Records != 0 || rep.Truncated {
+		t.Fatalf("missing file: rep=%+v err=%v", rep, err)
+	}
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatalf("OpenAudit: %v", err)
+	}
+	a.Close()
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := a.Append("x", "", nil); err == nil {
+		t.Fatalf("append after close succeeded")
+	}
+	var nilLog *AuditLog
+	if err := nilLog.Append("x", "", nil); err != nil {
+		t.Fatalf("nil log append: %v", err)
+	}
+	if err := nilLog.Close(); err != nil {
+		t.Fatalf("nil log close: %v", err)
+	}
+}
+
+func TestAuditBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	appendEvents(t, dir, 6)
+	path := filepath.Join(dir, auditFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Flip one bit inside the third record's event name.
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	idx := bytes.Index(lines[2], []byte("accepted"))
+	if idx < 0 {
+		t.Fatalf("fixture drift: no event name in %q", lines[2])
+	}
+	lines[2][idx] ^= 0x01
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatalf("write tampered file: %v", err)
+	}
+
+	_, err = VerifyAudit(dir)
+	if !errors.Is(err, ErrAuditTampered) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		// The flipped record (line 3) still parses; the chain breaks at the
+		// *next* record, whose prev no longer matches.
+		t.Fatalf("error does not localize the break: %v", err)
+	}
+
+	// Open quarantines the evidence and starts a fresh, verifiable chain.
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatalf("OpenAudit on tampered dir: %v", err)
+	}
+	if err := a.Append("accepted", "job-2", nil); err != nil {
+		t.Fatalf("append on fresh chain: %v", err)
+	}
+	a.Close()
+	rep, err := VerifyAudit(dir)
+	if err != nil || rep.Records != 1 || rep.TailSeq != 1 {
+		t.Fatalf("fresh chain: rep=%+v err=%v", rep, err)
+	}
+	quarantined, _ := filepath.Glob(path + ".corrupt-*")
+	if len(quarantined) != 1 {
+		t.Fatalf("tampered file not quarantined: %v", quarantined)
+	}
+}
+
+func TestAuditDeletedRecordDetected(t *testing.T) {
+	dir := t.TempDir()
+	appendEvents(t, dir, 5)
+	path := filepath.Join(dir, auditFile)
+	raw, _ := os.ReadFile(path)
+	lines := bytes.SplitAfter(raw, []byte("\n"))
+	// Drop record 2 entirely: seq and prev both break at the splice.
+	tampered := bytes.Join(append(lines[:1], lines[2:]...), nil)
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := VerifyAudit(dir); !errors.Is(err, ErrAuditTampered) {
+		t.Fatalf("deleted record not detected: %v", err)
+	}
+}
+
+func TestAuditTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	appendEvents(t, dir, 4)
+	path := filepath.Join(dir, auditFile)
+	// Simulate kill -9 mid-append: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.WriteString(`{"seq":5,"ts_unix_nano":123,"event":"sta`); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	f.Close()
+
+	rep, err := VerifyAudit(dir)
+	if err != nil {
+		t.Fatalf("torn tail failed verification: %v", err)
+	}
+	if rep.Records != 4 || !rep.Truncated {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Open truncates the torn tail and the chain continues cleanly.
+	a, err := OpenAudit(dir)
+	if err != nil {
+		t.Fatalf("OpenAudit: %v", err)
+	}
+	if err := a.Append("started", "job-9", nil); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	a.Close()
+	rep, err = VerifyAudit(dir)
+	if err != nil || rep.Records != 5 || rep.Truncated {
+		t.Fatalf("after repair: rep=%+v err=%v", rep, err)
+	}
+}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Collector retains completed traces in a bounded in-memory ring and fans
+// them out to live stream subscribers.
+//
+// Sampling policy: a trace whose root span ran at least SlowThreshold is
+// always kept — slow requests are the ones worth debugging — while faster
+// traces are kept one-in-SampleN (deterministically, by completion order).
+// SampleN <= 1 keeps everything; retention is still bounded by the ring, so
+// keep-all is safe at any request rate, it just recycles ids faster.
+type Collector struct {
+	mu      sync.Mutex
+	byID    map[string]*Trace
+	order   []string // FIFO of kept trace ids, for ring eviction
+	cap     int
+	slow    time.Duration
+	sampleN int
+	closed  bool
+
+	seq        uint64 // completed traces, for the 1-in-N counter
+	kept       uint64
+	sampledOut uint64
+	evicted    uint64
+	subDropped uint64
+
+	nextSub int
+	subs    map[int]chan *TraceJSON
+}
+
+// CollectorStats is the wire form of collector health for /v1/stats.
+type CollectorStats struct {
+	Ring        int    `json:"ring"`
+	RingCap     int    `json:"ring_cap"`
+	Finished    uint64 `json:"finished"`
+	Kept        uint64 `json:"kept"`
+	SampledOut  uint64 `json:"sampled_out"`
+	Evicted     uint64 `json:"evicted"`
+	Subscribers int    `json:"subscribers"`
+	SubDropped  uint64 `json:"stream_dropped"`
+}
+
+// NewCollector builds a collector retaining up to ringCap traces. ringCap
+// <= 0 means tracing is off: Start returns nils and nothing is retained.
+// slow is the always-keep latency threshold (0 disables the fast-path
+// sampling exemption); sampleN keeps one in N sub-threshold traces (<= 1
+// keeps all).
+func NewCollector(ringCap int, slow time.Duration, sampleN int) *Collector {
+	if ringCap <= 0 {
+		return nil
+	}
+	return &Collector{
+		byID:    make(map[string]*Trace, ringCap),
+		cap:     ringCap,
+		slow:    slow,
+		sampleN: sampleN,
+		subs:    make(map[int]chan *TraceJSON),
+	}
+}
+
+// Start opens a new trace with a root span of the given name and returns a
+// context carrying it. On a nil collector it returns ctx unchanged and nil
+// trace/span — callers thread the nils through StartSpan/End for free.
+func (c *Collector) Start(ctx context.Context, name string) (context.Context, *Trace, *Span) {
+	if c == nil {
+		return ctx, nil, nil
+	}
+	tr, root := NewTrace(name)
+	return ContextWith(ctx, tr, root), tr, root
+}
+
+// Finish closes the trace's root span and applies the retention policy:
+// keep-if-slow, else 1-in-SampleN. Kept traces enter the ring (evicting the
+// oldest) and are broadcast to stream subscribers; a subscriber whose
+// buffer is full misses that trace rather than stalling the server.
+// Nil-safe in both arguments.
+func (c *Collector) Finish(tr *Trace, root *Span) {
+	if c == nil || tr == nil {
+		return
+	}
+	root.End()
+	snap := tr.Snapshot()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.seq++
+	slowEnough := c.slow > 0 && snap.DurationMS >= float64(c.slow)/1e6
+	sampled := c.sampleN <= 1 || c.seq%uint64(c.sampleN) == 0
+	if !slowEnough && !sampled {
+		c.sampledOut++
+		c.mu.Unlock()
+		return
+	}
+	c.kept++
+	if _, dup := c.byID[tr.id]; !dup {
+		c.byID[tr.id] = tr
+		c.order = append(c.order, tr.id)
+		for len(c.order) > c.cap {
+			old := c.order[0]
+			c.order = c.order[1:]
+			delete(c.byID, old)
+			c.evicted++
+		}
+	}
+	for _, ch := range c.subs {
+		select {
+		case ch <- snap:
+		default:
+			c.subDropped++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Get returns the retained trace with the given id, serialized, or false.
+func (c *Collector) Get(id string) (*TraceJSON, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	tr := c.byID[id]
+	c.mu.Unlock()
+	if tr == nil {
+		return nil, false
+	}
+	return tr.Snapshot(), true
+}
+
+// Subscribe registers a live-stream consumer and returns its id and
+// channel. The channel is buffered with buf slots; sends never block (see
+// Finish). The channel is closed by Unsubscribe or Close.
+func (c *Collector) Subscribe(buf int) (int, <-chan *TraceJSON) {
+	if c == nil {
+		ch := make(chan *TraceJSON)
+		close(ch)
+		return 0, ch
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan *TraceJSON, buf)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		close(ch)
+		return 0, ch
+	}
+	c.nextSub++
+	id := c.nextSub
+	c.subs[id] = ch
+	c.mu.Unlock()
+	return id, ch
+}
+
+// Unsubscribe removes a subscriber and closes its channel. Idempotent.
+func (c *Collector) Unsubscribe(id int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	ch, ok := c.subs[id]
+	if ok {
+		delete(c.subs, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// Close stops the collector: subscriber channels are closed (ending any
+// /v1/trace/stream handlers) and later Finish calls are dropped. Retained
+// traces stay readable via Get.
+func (c *Collector) Close() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	subs := c.subs
+	c.subs = make(map[int]chan *TraceJSON)
+	c.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// Stats snapshots collector health counters.
+func (c *Collector) Stats() CollectorStats {
+	if c == nil {
+		return CollectorStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CollectorStats{
+		Ring:        len(c.order),
+		RingCap:     c.cap,
+		Finished:    c.seq,
+		Kept:        c.kept,
+		SampledOut:  c.sampledOut,
+		Evicted:     c.evicted,
+		Subscribers: len(c.subs),
+		SubDropped:  c.subDropped,
+	}
+}

@@ -1,0 +1,31 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"merlin/internal/trace"
+)
+
+// Trace fetches one retained trace by the id a RouteResponse carried in its
+// trace_id field. Like Stats, it runs once with no retries: traces are
+// best-effort observability data held in a bounded ring, and an id that has
+// been evicted or sampled out answers 404 (*APIError, code trace_not_found)
+// no matter how often it is asked — retrying cannot bring it back.
+func (c *Client) Trace(ctx context.Context, id string) (*trace.TraceJSON, error) {
+	resp, err := c.get(ctx, "/v1/trace/"+id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErrorFrom(resp)
+	}
+	var out trace.TraceJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode trace: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,56 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"merlin/internal/trace"
+)
+
+// TestTraceFetch: a retained id decodes into the OTLP-shaped snapshot; an
+// evicted id is a single 404 with code trace_not_found — no retries, because
+// a ring eviction is permanent.
+func TestTraceFetch(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		if r.URL.Path != "/v1/trace/abc123" {
+			errJSON(w, http.StatusNotFound, "trace_not_found")
+			return
+		}
+		json.NewEncoder(w).Encode(trace.TraceJSON{
+			TraceID:    "abc123",
+			Name:       "route",
+			DurationMS: 12.5,
+			Spans: []trace.SpanJSON{
+				{TraceID: "abc123", SpanID: "0000000000000001", Name: "route"},
+				{TraceID: "abc123", SpanID: "0000000000000002", ParentID: "0000000000000001", Name: "queue.wait"},
+			},
+		})
+	}))
+	defer ts.Close()
+
+	cl := fastClient(ts.URL, 5)
+	snap, err := cl.Trace(context.Background(), "abc123")
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	if snap.TraceID != "abc123" || len(snap.Spans) != 2 || snap.Spans[1].ParentID != snap.Spans[0].SpanID {
+		t.Errorf("decoded snapshot off: %+v", snap)
+	}
+
+	attempts.Store(0)
+	_, err = cl.Trace(context.Background(), "gone")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound || apiErr.Code != "trace_not_found" {
+		t.Fatalf("evicted trace: err = %v, want 404 trace_not_found", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("404 trace fetched %d times, want 1 (no retries)", got)
+	}
+}
