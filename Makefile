@@ -1,15 +1,16 @@
 # Tier-1 verify is: make build test lint race chaos fuzz invariants crash
-# (build + full test suite, static analysis — go vet then the project's own
-# merlinlint rule suite — the race detector over the concurrent packages, the
-# fault-injection chaos storm, short runs of the fuzz targets, the DP
-# packages rebuilt and retested with the merlin_invariants assertion layer,
-# and the SIGKILL crash-recovery drill over the durable-jobs journal).
+# cluster-chaos (build + full test suite, static analysis — go vet then the
+# project's own merlinlint rule suite — the race detector over the concurrent
+# packages, the fault-injection chaos storm, short runs of the fuzz targets,
+# the DP packages rebuilt and retested with the merlin_invariants assertion
+# layer, the SIGKILL crash-recovery drill over the durable-jobs journal, and
+# the router kill/restart cluster drill).
 
 GO ?= go
 # How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint invariants chaos fuzz crash verify bench bench-tables
+.PHONY: all build test race vet lint invariants chaos fuzz crash cluster-chaos verify bench bench-tables
 
 all: build
 
@@ -24,9 +25,10 @@ test:
 # the degradation ladder, and the core engine's one-engine-per-goroutine
 # contract. Full-repo -race is accurate too but slow; these packages are
 # where concurrency actually lives. TestChaos* is skipped here because the
-# chaos target runs the storms on their own.
+# chaos target runs the storms on their own, and TestClusterChaos because the
+# cluster-chaos target runs the kill/restart drill on its own.
 race:
-	$(GO) test -race -skip 'TestChaos|TestCrashRecovery' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./cmd/merlind/... ./cmd/merlintop/...
+	$(GO) test -race -skip 'TestChaos|TestCrashRecovery|TestClusterChaos' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./internal/router/... ./internal/qos/... ./pkg/client/... ./cmd/merlind/... ./cmd/merlintop/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
 
 # The fault-injection storms: 240 concurrent good/bad/huge/degradable
@@ -56,6 +58,16 @@ fuzz:
 crash:
 	$(GO) test -race -run 'TestCrashRecovery$$' ./internal/service/
 
+# The cluster kill/restart drill: a router fronting three re-exec'd durable
+# backends takes sustained multi-tenant load while one backend is SIGKILLed
+# mid-storm and later restarted on the same address. The router's breaker
+# must open then recover (observed via /v1/stats), every client must get a
+# truthful status (200/202, coded 429, or coded 503 — never a blank failure),
+# and every acknowledged job must reach done. Run under the race detector;
+# see internal/router/cluster_chaos_test.go.
+cluster-chaos:
+	$(GO) test -race -run 'TestClusterChaos$$' ./internal/router/
+
 vet:
 	$(GO) vet ./...
 
@@ -73,14 +85,15 @@ lint: vet
 invariants:
 	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/... ./internal/degrade/... ./internal/journal/...
 
-verify: build test lint race chaos fuzz invariants crash
+verify: build test lint race chaos fuzz invariants crash cluster-chaos
 
 # The performance baseline: merlinbench runs the fixed benchmark set (core
 # construct, trace span price disabled/enabled, service batch with tracing
-# off/on, and the fixed mixed load profile's p50/p90/p99) and writes
+# off/on, the fixed mixed load profile's p50/p90/p99, and the router-hop
+# overhead of proxying through merlinrouter vs hitting merlind direct) and writes
 # BENCH_$(BENCH_N).json. Committed baselines make later "faster" claims a
 # file diff; BENCH_N is the PR number the baseline belongs to.
-BENCH_N ?= 6
+BENCH_N ?= 7
 bench:
 	$(GO) run ./cmd/merlinbench -out BENCH_$(BENCH_N).json
 	@cat BENCH_$(BENCH_N).json

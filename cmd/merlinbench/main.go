@@ -30,10 +30,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -45,6 +49,8 @@ import (
 	"merlin/internal/flows"
 	"merlin/internal/geom"
 	"merlin/internal/net"
+	"merlin/internal/qos"
+	"merlin/internal/router"
 	"merlin/internal/service"
 	"merlin/internal/trace"
 )
@@ -72,6 +78,19 @@ type loadResult struct {
 	MaxMS       float64 `json:"max_ms"`
 }
 
+// routerHopResult compares the same cache-warm request served directly by a
+// backend against the same backend behind merlinrouter: the deltas are the
+// front tier's per-request price (hashing, QoS admission, proxying).
+type routerHopResult struct {
+	Requests      int     `json:"requests"`
+	DirectP50MS   float64 `json:"direct_p50_ms"`
+	DirectP99MS   float64 `json:"direct_p99_ms"`
+	ProxiedP50MS  float64 `json:"proxied_p50_ms"`
+	ProxiedP99MS  float64 `json:"proxied_p99_ms"`
+	OverheadP50MS float64 `json:"overhead_p50_ms"`
+	OverheadP99MS float64 `json:"overhead_p99_ms"`
+}
+
 type output struct {
 	Schema           string                 `json:"schema"`
 	GoVersion        string                 `json:"go_version"`
@@ -81,6 +100,7 @@ type output struct {
 	Benchmarks       map[string]benchResult `json:"benchmarks"`
 	TraceOverheadPct float64                `json:"trace_overhead_pct"`
 	LoadProfile      loadResult             `json:"load_profile"`
+	RouterHop        routerHopResult        `json:"router_hop"`
 }
 
 func main() {
@@ -236,6 +256,12 @@ func run(outPath string, quick bool) error {
 	}
 	doc.LoadProfile = load
 
+	hop, err := runRouterHop(quick)
+	if err != nil {
+		return err
+	}
+	doc.RouterHop = hop
+
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -246,6 +272,91 @@ func run(outPath string, quick bool) error {
 		return err
 	}
 	return os.WriteFile(outPath, b, 0o644)
+}
+
+// runRouterHop measures the router's per-request overhead: one backend
+// served over real HTTP, the same cache-warm /v1/route request issued
+// directly and through an in-process merlinrouter in front of it.
+// Cache-warm on purpose — against a ~µs cached answer the hop price is the
+// signal, not noise under seconds of compute.
+func runRouterHop(quick bool) (routerHopResult, error) {
+	requests := 400
+	if quick {
+		requests = 50
+	}
+	s := service.New(service.Config{Workers: 2})
+	defer s.Shutdown(context.Background())
+	backend := httptest.NewServer(s.Handler())
+	defer backend.Close()
+
+	rt, err := router.New(router.Config{
+		Backends:      []string{backend.URL},
+		ProbeInterval: -1,                                      // a single warm backend needs no prober in a benchmark
+		TraceRing:     -1,                                      // measure the proxy path, not trace retention
+		QoS:           qos.Config{Rate: -1, MaxConcurrent: -1}, // hop price, not admission
+	})
+	if err != nil {
+		return routerHopResult{}, err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	body, err := json.Marshal(&service.RouteRequest{Net: benchNet(6, 3000), MaxLoops: 1})
+	if err != nil {
+		return routerHopResult{}, err
+	}
+	hc := &http.Client{Timeout: time.Minute}
+	post := func(base string) (float64, error) {
+		start := time.Now()
+		resp, err := hc.Post(base+"/v1/route", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d from %s", resp.StatusCode, base)
+		}
+		return float64(time.Since(start).Microseconds()) / 1000, nil
+	}
+	measure := func(base string) (p50, p99 float64, err error) {
+		// Warm: first request computes and fills the cache, a few more settle
+		// connections.
+		for i := 0; i < 5; i++ {
+			if _, err := post(base); err != nil {
+				return 0, 0, err
+			}
+		}
+		samples := make([]float64, requests)
+		for i := range samples {
+			if samples[i], err = post(base); err != nil {
+				return 0, 0, err
+			}
+		}
+		sort.Float64s(samples)
+		return samples[len(samples)/2], samples[len(samples)*99/100], nil
+	}
+
+	// Interleave would be fairer still, but direct-then-proxied keeps each
+	// connection pool warm for its whole run; both see identical conditions.
+	d50, d99, err := measure(backend.URL)
+	if err != nil {
+		return routerHopResult{}, err
+	}
+	p50, p99, err := measure(front.URL)
+	if err != nil {
+		return routerHopResult{}, err
+	}
+	return routerHopResult{
+		Requests:      requests,
+		DirectP50MS:   d50,
+		DirectP99MS:   d99,
+		ProxiedP50MS:  p50,
+		ProxiedP99MS:  p99,
+		OverheadP50MS: p50 - d50,
+		OverheadP99MS: p99 - d99,
+	}, nil
 }
 
 // runLoadProfile pushes the fixed mixed load through a live server and

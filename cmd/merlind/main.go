@@ -68,7 +68,7 @@ func main() {
 		maxSinks = flag.Int("maxsinks", 0, "reject nets with more sinks (0 = 64, negative disables)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		smoke    = flag.Bool("smoke", false, "run an end-to-end smoke test instead of serving")
-		target   = flag.String("target", "", "server URL for -smoke (empty = in-process server)")
+		target   = flag.String("target", "", "server URL(s) for -smoke, comma-separated for client-side failover (empty = in-process server)")
 		brownout = flag.Duration("brownout", 0,
 			"overload-controller sampling interval (0 = 100ms, negative disables brownout)")
 		brownoutDrain = flag.Duration("brownout-drain", 0,

@@ -7,6 +7,7 @@ import (
 	"log"
 	stdnet "net"
 	"net/http"
+	"strings"
 	"time"
 
 	"merlin/internal/flows"
@@ -15,12 +16,26 @@ import (
 	"merlin/pkg/client"
 )
 
-// runSmoke drives a quick end-to-end check through pkg/client: healthz, a
-// route, a repeat route that must hit the result cache, a collected batch, a
-// deliberately over-budget request that must classify as budget_exceeded,
-// and a stats read. With an empty target it stands up an in-process server
-// on a loopback port and smokes that, so `merlind -smoke` is a self-
-// contained health check of the build.
+// trimEach trims whitespace from each element (comma-separated -target).
+func trimEach(ss []string) []string {
+	out := make([]string, 0, len(ss))
+	for _, s := range ss {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runSmoke drives a quick end-to-end check through pkg/client: healthz +
+// readyz, a route, a repeat route that must hit the result cache, a
+// collected batch, a deliberately over-budget request that must classify as
+// budget_exceeded, and a stats read. With an empty target it stands up an
+// in-process server on a loopback port and smokes that, so `merlind -smoke`
+// is a self-contained health check of the build. target may be a
+// comma-separated list of base URLs (a ring of merlinds, or routers): the
+// client fails over to the next one on connection failure, so the smoke
+// passes as long as at least one member answers.
 func runSmoke(target string, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
@@ -41,12 +56,17 @@ func runSmoke(target string, timeout time.Duration) error {
 		log.Printf("merlind: smoke against %s", target)
 	}
 
-	cl := client.New(target,
+	targets := strings.Split(target, ",")
+	cl := client.New(strings.TrimSpace(targets[0]),
+		client.WithEndpoints(trimEach(targets[1:])...),
 		client.WithMaxRetries(4),
 		client.WithBackoff(100*time.Millisecond, 2*time.Second))
 
 	if err := cl.Healthz(ctx); err != nil {
 		return fmt.Errorf("healthz: %w", err)
+	}
+	if err := cl.Readyz(ctx); err != nil {
+		return fmt.Errorf("readyz: %w", err)
 	}
 
 	prof := flows.ProfileFor(8)

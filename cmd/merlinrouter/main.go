@@ -1,0 +1,170 @@
+// Command merlinrouter is merlin's fleet front tier: it consistent-hashes
+// canonical net fingerprints onto a replicated ring of merlind backends and
+// proxies /v1/route, /v1/batch and /v1/jobs with health-checked failover,
+// per-backend circuit breakers, optional hedged reads, and per-tenant QoS.
+// See the "Running a cluster" section of README.md.
+//
+// Usage:
+//
+//	merlinrouter -backends http://h1:8080,http://h2:8080[,...]
+//	             [-addr :8090] [-replicas 64]
+//	             [-probe-interval 500ms] [-probe-timeout 2s]
+//	             [-failure-threshold 3] [-eject-base 500ms] [-eject-max 30s]
+//	             [-max-attempts 3] [-hedge 0]
+//	             [-qos-rate 50] [-qos-burst 100] [-qos-concurrency 32]
+//	             [-qos-tenants acme=gold,guest=bronze]
+//	             [-trace-ring 256]
+//
+// -backends is the ring: each URL is a merlind base URL. The ring never
+// reshards at runtime — an unreachable or draining backend is skipped, and
+// its keys return to it (and its warm cache) the moment it recovers.
+//
+// -hedge enables hedged reads: a repeat /v1/route fingerprint launches a
+// second attempt at the next replica after the given delay (0 disables).
+//
+// -qos-* configure per-tenant admission keyed by the X-Merlin-Tenant
+// header: token-bucket rate limits and in-flight quotas, with priority
+// classes gold (4× rate, 2× concurrency), standard and bronze (¼ rate,
+// ½ concurrency) assigned via -qos-tenants. A negative -qos-rate or
+// -qos-concurrency disables that gate.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// proxied requests finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	stdnet "net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"merlin/internal/qos"
+	"merlin/internal/router"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		backends = flag.String("backends", "", "comma-separated merlind base URLs forming the ring (required)")
+		replicas = flag.Int("replicas", 0, "virtual nodes per backend on the hash ring (0 = 64)")
+
+		probeInterval = flag.Duration("probe-interval", 0, "readyz probe cadence (0 = 500ms, negative disables probing)")
+		probeTimeout  = flag.Duration("probe-timeout", 0, "single readyz probe budget (0 = 2s)")
+		failThreshold = flag.Int("failure-threshold", 0, "consecutive failures that open a backend's breaker (0 = 3)")
+		ejectBase     = flag.Duration("eject-base", 0, "initial breaker ejection timeout (0 = 500ms)")
+		ejectMax      = flag.Duration("eject-max", 0, "breaker ejection timeout cap (0 = 30s)")
+		maxAttempts   = flag.Int("max-attempts", 0, "forward attempts per request across replicas (0 = 3)")
+		hedge         = flag.Duration("hedge", 0, "hedged-read delay for repeat fingerprints (0 disables)")
+
+		qosRate        = flag.Float64("qos-rate", 0, "standard-class tenant rate in req/s (0 = 50, negative disables)")
+		qosBurst       = flag.Float64("qos-burst", 0, "tenant token-bucket depth (0 = 2×rate)")
+		qosConcurrency = flag.Int("qos-concurrency", 0, "standard-class tenant in-flight quota (0 = 32, negative disables)")
+		qosTenants     = flag.String("qos-tenants", "", `tenant classes as "name=gold|standard|bronze,..."`)
+
+		traceRing = flag.Int("trace-ring", 0, "retained router traces for /v1/trace/{id} (0 = 256, negative disables)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	tenants, err := qos.ParseTenantClasses(*qosTenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merlinrouter:", err)
+		os.Exit(1)
+	}
+	if err := run(*addr, *drain, routerConfig(
+		*backends, *replicas, *probeInterval, *probeTimeout, *failThreshold,
+		*ejectBase, *ejectMax, *maxAttempts, *hedge,
+		*qosRate, *qosBurst, *qosConcurrency, tenants, *traceRing,
+	)); err != nil {
+		fmt.Fprintln(os.Stderr, "merlinrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func routerConfig(backends string, replicas int, probeInterval, probeTimeout time.Duration,
+	failThreshold int, ejectBase, ejectMax time.Duration, maxAttempts int, hedge time.Duration,
+	qosRate, qosBurst float64, qosConcurrency int, tenants map[string]string, traceRing int) router.Config {
+	var urls []string
+	for _, b := range strings.Split(backends, ",") {
+		if b = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(b), "/")); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	return router.Config{
+		Backends:         urls,
+		Replicas:         replicas,
+		ProbeInterval:    probeInterval,
+		ProbeTimeout:     probeTimeout,
+		FailureThreshold: failThreshold,
+		EjectBase:        ejectBase,
+		EjectMax:         ejectMax,
+		MaxAttempts:      maxAttempts,
+		HedgeDelay:       hedge,
+		QoS: qos.Config{
+			Rate:          qosRate,
+			Burst:         qosBurst,
+			MaxConcurrent: qosConcurrency,
+			Tenants:       tenants,
+		},
+		TraceRing: traceRing,
+	}
+}
+
+func run(addr string, drain time.Duration, cfg router.Config) error {
+	if len(cfg.Backends) == 0 {
+		return errors.New("-backends is required (comma-separated merlind URLs)")
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := stdnet.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Bind before logging so "-addr :0" reports the real port (tests and
+	// supervisors parse this line).
+	log.Printf("merlinrouter: listening on %s, ring of %d backends", ln.Addr(), len(cfg.Backends))
+	errc := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				errc <- fmt.Errorf("serve panic: %v", r)
+			}
+		}()
+		errc <- hs.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("merlinrouter: draining (budget %v)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	log.Printf("merlinrouter: drained cleanly")
+	return nil
+}

@@ -226,4 +226,14 @@ const (
 	// injected error flips one payload bit (latent disk corruption), which
 	// the per-entry checksum must catch and quarantine, never serve.
 	SiteStoreRead = "store.read"
+	// SiteRouterForward fires on every attempt the router makes to forward a
+	// request to a backend, before the proxy request is sent; an injected
+	// error counts as a connection failure and must trigger failover to the
+	// next ring replica (and a breaker failure for the skipped backend),
+	// never a client-visible 5xx while replicas remain.
+	SiteRouterForward = "router.forward"
+	// SiteRouterHealth fires inside the router's readyz prober before each
+	// probe; an injected error counts as a failed probe and must march the
+	// backend's breaker toward open without affecting in-flight forwards.
+	SiteRouterHealth = "router.health"
 )

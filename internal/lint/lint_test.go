@@ -19,6 +19,8 @@ func fakeRegistry() *Registry {
 		"SiteCoreConstruct":  "core.construct",
 		"SiteServiceWorker":  "service.worker",
 		"SiteServiceHandler": "service.handler",
+		"SiteRouterForward":  "router.forward",
+		"SiteRouterHealth":   "router.health",
 	} {
 		reg.Consts[name] = val
 		reg.Values[val] = true
@@ -223,6 +225,8 @@ func TestLoadRegistry(t *testing.T) {
 		"SiteCoreConstruct":  "core.construct",
 		"SiteServiceWorker":  "service.worker",
 		"SiteServiceHandler": "service.handler",
+		"SiteRouterForward":  "router.forward",
+		"SiteRouterHealth":   "router.health",
 		"SiteDegradeLadder":  "degrade.ladder",
 		"SiteDegradeTier":    "degrade.tier",
 		"SiteJournalAppend":  "journal.append",

@@ -10,4 +10,5 @@ func bad() {
 	faultinject.Disarm("no.such.site")                           // want faultsite
 	_ = faultinject.Fire(faultinject.SiteDoesNotExist)           // want faultsite
 	_ = faultinject.Set("core.construct=panic,bogus.site=error") // want faultsite
+	_ = faultinject.Fire("router.forwrad")                       // want faultsite
 }

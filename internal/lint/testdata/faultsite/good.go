@@ -15,4 +15,9 @@ func good(site string) {
 
 	// Same method names on another package are not fault injection.
 	_ = other.Fire("whatever")
+
+	// Router-tier sites (chaos drills arm these to kill backends mid-storm).
+	_ = faultinject.Fire(faultinject.SiteRouterForward)
+	_ = faultinject.Fire("router.health")
+	_ = faultinject.Set("router.forward=error@0.5,router.health=error")
 }

@@ -1,0 +1,83 @@
+package net
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math"
+	"testing"
+
+	"merlin/internal/geom"
+	"merlin/internal/rc"
+)
+
+// goldenNets are hand-built instances covering the encoding's moving parts:
+// source position, named and default drivers, sink order, negative
+// coordinates, and float bit patterns (including negative zero).
+func goldenNets() []*Net {
+	return []*Net{
+		{
+			Name:   "golden-single",
+			Source: geom.Point{X: 0, Y: 0},
+			Sinks:  []Sink{{Pos: geom.Point{X: 100, Y: 200}, Load: 0.05, Req: 1.5}},
+		},
+		{
+			Name:   "golden-driver",
+			Source: geom.Point{X: -40, Y: 77},
+			Driver: rc.Gate{Name: "drv2x", K0: 0.02, K1: 0.4, K2: 0.01, K3: 0.3, S0: 0.08, S1: 0.9, Cin: 0.012, Area: 64},
+			Sinks: []Sink{
+				{Pos: geom.Point{X: 10, Y: -10}, Load: 0.03, Req: 0.9},
+				{Pos: geom.Point{X: -500, Y: 123456}, Load: 0.2, Req: -0.25},
+			},
+		},
+		{
+			Name:   "golden-zero-bits",
+			Source: geom.Point{X: 1, Y: 1},
+			Sinks: []Sink{
+				{Pos: geom.Point{X: 2, Y: 2}, Load: 0.0625, Req: math.Copysign(0, -1)},
+				{Pos: geom.Point{X: 3, Y: 3}, Load: 0.0625, Req: 0},
+			},
+		},
+	}
+}
+
+// TestCanonGoldenFingerprints pins the canonical encoding byte-for-byte.
+//
+// DO NOT update these hashes casually. The canonical encoding is load-
+// bearing far beyond this package: it keys every engine and result cache,
+// addresses the durable result store, and is the shard key the router's
+// consistent-hash ring places requests with. An accidental change here
+// silently reshards the entire ring (every net moves to a cold backend) and
+// invalidates every entry in every result store fleet-wide — all without a
+// single test failing anywhere else. If you changed the encoding ON
+// PURPOSE, that is a cache- and store-breaking migration: bump the stores'
+// format versions, plan a fleet-wide cache flush, and only then update the
+// hashes below.
+func TestCanonGoldenFingerprints(t *testing.T) {
+	want := []string{
+		"bb58c95e0058de9e39385ec6192f1d3c9f81df1d09cb23b865e571efcb497fd9",
+		"d6098be78d46170bc136ac636b8a97ee4762c3f86ce033ce35c134f701ba190b",
+		"81a373b57e2836c896d7f196b8af822b53ee279da43498154f6188a683697600",
+	}
+	for i, n := range goldenNets() {
+		sum := sha256.Sum256(n.AppendCanonical(nil))
+		got := fmt.Sprintf("%x", sum[:])
+		if got != want[i] {
+			t.Errorf("net %q: canonical fingerprint changed\n  got:  %s\n  want: %s\n"+
+				"An accidental canon change silently reshards the router's hash ring and\n"+
+				"invalidates every result store; see the comment above this test.", n.Name, got, want[i])
+		}
+	}
+}
+
+// TestCanonNameExcluded pins the complementary property: renaming a net must
+// NOT move it on the ring or miss its cache entries.
+func TestCanonNameExcluded(t *testing.T) {
+	a := goldenNets()[0]
+	b := *a
+	b.Name = "renamed"
+	ha := sha256.Sum256(a.AppendCanonical(nil))
+	hb := sha256.Sum256(b.AppendCanonical(nil))
+	if ha != hb {
+		t.Fatal("renaming a net changed its canonical fingerprint; names must be excluded")
+	}
+}

@@ -1,0 +1,84 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPickDeterministicAndComplete(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, err := newRing(backends, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := newRing(backends, 64)
+	for key := uint64(0); key < 1000; key += 37 {
+		p1, p2 := r1.pick(key), r2.pick(key)
+		if len(p1) != len(backends) {
+			t.Fatalf("pick(%d) returned %d backends, want %d", key, len(p1), len(backends))
+		}
+		seen := map[string]bool{}
+		for i, b := range p1 {
+			if seen[b] {
+				t.Fatalf("pick(%d) repeats backend %s", key, b)
+			}
+			seen[b] = true
+			if p2[i] != b {
+				t.Fatalf("pick(%d) not deterministic: %v vs %v", key, p1, p2)
+			}
+		}
+	}
+}
+
+// TestRingBalance checks the keyspace splits roughly evenly: with 64 vnodes
+// the imbalance should stay well under 2x.
+func TestRingBalance(t *testing.T) {
+	backends := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := newRing(backends, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		// spread keys over the space, not just low values
+		key := uint64(i) * 0x9e3779b97f4a7c15
+		counts[r.pick(key)[0]]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("backend %s owns %.1f%% of the keyspace, want ~33%%", b, frac*100)
+		}
+	}
+}
+
+// TestRingFailoverOrderStable: the replica list for a key never changes —
+// availability filtering happens at pick time in the caller, so a backend
+// coming back finds its keys (and its warm cache) exactly where it left
+// them.
+func TestRingFailoverOrderStable(t *testing.T) {
+	r, err := newRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := uint64(123456789)
+	want := fmt.Sprintf("%v", r.pick(key))
+	for i := 0; i < 100; i++ {
+		if got := fmt.Sprintf("%v", r.pick(key)); got != want {
+			t.Fatalf("pick order changed: %s vs %s", got, want)
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := newRing(nil, 64); err == nil {
+		t.Error("empty backend list: want error")
+	}
+	if _, err := newRing([]string{"http://a", "http://a"}, 64); err == nil {
+		t.Error("duplicate backend: want error")
+	}
+	if _, err := newRing([]string{"http://a", ""}, 64); err == nil {
+		t.Error("empty backend URL: want error")
+	}
+}

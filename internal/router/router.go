@@ -1,0 +1,505 @@
+// Package router is merlin's fleet front tier: it consistent-hashes
+// canonical net fingerprints (internal/net/canon.go) onto a replicated ring
+// of merlind backends and forwards /v1/route, /v1/batch and /v1/jobs with
+// robustness at every hop:
+//
+//   - Active health probing: a prober GETs every backend's /v1/readyz on an
+//     interval. 503 marks the backend drained (no new work, no ejection
+//     clock — it serves again the instant readyz recovers); a connection
+//     failure marches its circuit breaker toward open.
+//   - Circuit breakers: consecutive failures open a per-backend breaker
+//     with an exponentially growing ejection timeout (pkg/client's Backoff
+//     — the repo's one backoff policy); after the timeout one half-open
+//     trial decides between closing and re-opening longer.
+//   - Bounded failover: a connection error or 5xx moves the same request to
+//     the next ring replica, up to MaxAttempts total tries. 4xx are never
+//     retried (they are verdicts about the request), and nothing is retried
+//     once response bytes have streamed to the client.
+//   - Hedged reads: optionally, a /v1/route whose fingerprint was seen
+//     recently (cache-likely on its home backend) launches a second attempt
+//     at the next replica after HedgeDelay; first answer wins, the loser is
+//     canceled.
+//   - Per-tenant QoS (internal/qos): token-bucket rate limits and
+//     concurrency quotas keyed by X-Merlin-Tenant, with priority classes.
+//     An over-rate degradable request is forwarded with allow_degraded set
+//     (the backend's ladder serves a cheaper tier) before the router ever
+//     answers 429 — a hot tenant degrades itself, not the fleet.
+//
+// Everything is observable: router.pick / router.forward / router.retry /
+// qos.admit spans via internal/trace, per-backend breaker state and
+// per-tenant admission counts on /v1/stats, and fault-injection sites
+// router.forward / router.health for chaos drills.
+package router
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"merlin/internal/faultinject"
+	"merlin/internal/net"
+	"merlin/internal/qos"
+	"merlin/internal/service"
+	"merlin/internal/trace"
+	"merlin/pkg/client"
+)
+
+// Config sizes a Router. Zero values take the documented defaults.
+type Config struct {
+	// Backends are the merlind base URLs forming the ring. Required.
+	Backends []string
+	// Replicas is the virtual-node count per backend; default 64.
+	Replicas int
+
+	// FailureThreshold is how many consecutive breaker-visible failures
+	// (connection errors, 5xx, failed probes) open a backend's breaker;
+	// default 3.
+	FailureThreshold int
+	// EjectBase/EjectMax bound the exponential ejection timeout an open
+	// breaker waits before its half-open trial; defaults 500ms and 30s.
+	EjectBase, EjectMax time.Duration
+	// ProbeInterval is the readyz probe cadence; default 500ms, negative
+	// disables active probing (breakers then move only on request traffic).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one readyz probe; default 2s.
+	ProbeTimeout time.Duration
+
+	// MaxAttempts is the total forward tries per request across replicas
+	// (first attempt + failovers); default 3, clamped to the backend count.
+	MaxAttempts int
+
+	// HedgeDelay, when positive, enables hedged reads: a /v1/route whose
+	// fingerprint is in the recent set launches a second attempt at the
+	// next replica after this delay. Default 0 (disabled).
+	HedgeDelay time.Duration
+	// HedgeRecent is the recent-fingerprint set capacity; default 1024.
+	HedgeRecent int
+
+	// QoS configures per-tenant admission; see qos.Config for defaults.
+	QoS qos.Config
+
+	// TraceRing is how many completed router traces are retained for
+	// GET /v1/trace/{id}; default 256, negative disables router tracing.
+	TraceRing int
+
+	// Seed makes breaker-ejection jitter deterministic in tests.
+	Seed int64
+	// now substitutes the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.EjectBase <= 0 {
+		c.EjectBase = 500 * time.Millisecond
+	}
+	if c.EjectMax <= 0 {
+		c.EjectMax = 30 * time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.HedgeRecent <= 0 {
+		c.HedgeRecent = 1024
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Router is the front tier. Create with New, serve via Handler, stop with
+// Close. Safe for concurrent use.
+type Router struct {
+	cfg      Config
+	ring     *ring
+	backends map[string]*backend
+	order    []string // construction order, for scatter and stats
+	pol      breakerPolicy
+	adm      *qos.Controller
+	hc       *http.Client
+	traces   *trace.Collector // nil when TraceRing < 0
+
+	met struct {
+		mu sync.Mutex
+		m  map[string]uint64
+	}
+
+	recentMu sync.Mutex
+	recent   map[string]struct{} // fingerprints seen lately (hedge candidates)
+	recentQ  []string            // FIFO eviction order
+
+	ownerMu sync.Mutex
+	owners  map[string]string // job ID → backend that accepted it
+	ownerQ  []string          // FIFO eviction order
+
+	stopProbe chan struct{}
+	stopOnce  sync.Once
+	probeWG   sync.WaitGroup
+}
+
+// New builds a router over the configured backends and starts its readyz
+// prober. It does not contact the backends synchronously: a router in front
+// of a still-booting fleet starts serving 503s and converges as probes land.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	r, err := newRing(cfg.Backends, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := qos.NewController(cfg.QoS)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:       cfg,
+		ring:      r,
+		backends:  make(map[string]*backend, len(r.backends)),
+		order:     r.backends,
+		pol:       breakerPolicy{threshold: cfg.FailureThreshold, backoff: client.NewBackoff(cfg.EjectBase, cfg.EjectMax, cfg.Seed)},
+		adm:       adm,
+		hc:        &http.Client{},
+		recent:    make(map[string]struct{}),
+		owners:    make(map[string]string),
+		stopProbe: make(chan struct{}),
+	}
+	rt.met.m = make(map[string]uint64)
+	for _, id := range r.backends {
+		rt.backends[id] = &backend{id: id}
+	}
+	if cfg.TraceRing >= 0 {
+		rt.traces = trace.NewCollector(cfg.TraceRing, 0, 1)
+	}
+	if cfg.ProbeInterval > 0 {
+		rt.probeWG.Add(1)
+		rt.goGuard("prober", func() {
+			defer rt.probeWG.Done()
+			rt.probeLoop()
+		})
+	}
+	return rt, nil
+}
+
+// Close stops the prober and the trace collector. In-flight forwards finish
+// on their own contexts.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stopProbe) })
+	rt.probeWG.Wait()
+	if rt.traces != nil {
+		rt.traces.Close()
+	}
+}
+
+// goGuard runs fn on a new goroutine with a panic guard: a panic is logged
+// and counted, never allowed to kill the router process.
+func (rt *Router) goGuard(name string, fn func()) {
+	go func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				rt.inc("panics")
+				log.Printf("router: contained panic in %s: %v\n%s", name, rec, debug.Stack())
+			}
+		}()
+		fn()
+	}()
+}
+
+func (rt *Router) inc(name string) {
+	rt.met.mu.Lock()
+	rt.met.m[name]++
+	rt.met.mu.Unlock()
+}
+
+func (rt *Router) counters() map[string]uint64 {
+	rt.met.mu.Lock()
+	defer rt.met.mu.Unlock()
+	out := make(map[string]uint64, len(rt.met.m))
+	for k, v := range rt.met.m {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- health probing ----
+
+func (rt *Router) probeLoop() {
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll probes every backend concurrently (a hung backend must not delay
+// its siblings' probes) and waits for the round to finish.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, id := range rt.order {
+		b := rt.backends[id]
+		wg.Add(1)
+		rt.goGuard("probe "+id, func() {
+			defer wg.Done()
+			rt.probe(b)
+		})
+	}
+	wg.Wait()
+}
+
+// probe asks one backend's /v1/readyz. 200 → undrain + breaker success;
+// 503 → drained (reachable, so also breaker success); connection error or
+// unexpected status → breaker failure. An open breaker is only probed once
+// its ejection timeout expires — the probe IS the half-open trial.
+func (rt *Router) probe(b *backend) {
+	if !b.probeTicket(rt.cfg.now()) {
+		return // still inside its ejection timeout
+	}
+	rt.inc("probes")
+	if err := faultinject.Fire(faultinject.SiteRouterHealth); err != nil {
+		rt.probeFailed(b)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.id+"/v1/readyz", nil)
+	if err != nil {
+		rt.probeFailed(b)
+		return
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		rt.probeFailed(b)
+		return
+	}
+	drainBody(resp)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		b.setDrained(false)
+		b.recordSuccess()
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Draining (or durability-degraded): reachable, so the breaker is
+		// happy, but no new work until readyz recovers.
+		b.setDrained(true)
+		b.recordSuccess()
+		rt.inc("probes.drained")
+	default:
+		rt.probeFailed(b)
+	}
+}
+
+func (rt *Router) probeFailed(b *backend) {
+	b.mu.Lock()
+	b.probeFail++
+	b.mu.Unlock()
+	b.recordFailure(rt.cfg.now(), rt.pol)
+	rt.inc("probes.failed")
+}
+
+// probeTicket is admissible() for the prober: a closed backend is always
+// probed (drained or not — the probe is how it undrains), an open one only
+// after its ejection timeout (becoming the half-open trial).
+func (b *backend) probeTicket(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.trialing = true
+		return true
+	case stateHalfOpen:
+		if b.trialing {
+			return false
+		}
+		b.trialing = true
+		return true
+	}
+	return false
+}
+
+// ---- fingerprinting ----
+
+// shardKey fingerprints a request body for ring placement: the canonical
+// encoding of the net(s) when the body parses as a route/batch request
+// (order-independent — MERLIN's semi-order-independence makes the canon
+// bytes a stable shard key), else a hash of the raw bytes (the backend will
+// reject the request; where it lands doesn't matter).
+func shardKey(path string, body []byte) (key uint64, fp string) {
+	var canon []byte
+	switch path {
+	case "/v1/route", "/v1/jobs":
+		var req service.RouteRequest
+		if err := json.Unmarshal(body, &req); err == nil && req.Net != nil {
+			canon = req.Net.AppendCanonical(nil)
+		}
+	case "/v1/batch":
+		var req service.BatchRequest
+		if err := json.Unmarshal(body, &req); err == nil && len(req.Nets) > 0 {
+			for _, n := range req.Nets {
+				if n == nil {
+					canon = nil
+					break
+				}
+				canon = n.AppendCanonical(canon)
+			}
+		}
+	}
+	if canon == nil {
+		canon = body
+	}
+	sum := sha256.Sum256(canon)
+	return binary.BigEndian.Uint64(sum[:8]), fmt.Sprintf("%x", sum[:16])
+}
+
+// netKey exposes the single-net shard fingerprint for tests and tools.
+func netKey(n *net.Net) uint64 {
+	sum := sha256.Sum256(n.AppendCanonical(nil))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// ---- recent-fingerprint set (hedge candidates) and job owners ----
+
+// rememberFingerprint records fp and reports whether it was already present
+// (= a repeat request, likely cached on its home backend — hedge-worthy).
+func (rt *Router) rememberFingerprint(fp string) (seen bool) {
+	rt.recentMu.Lock()
+	defer rt.recentMu.Unlock()
+	if _, ok := rt.recent[fp]; ok {
+		return true
+	}
+	rt.recent[fp] = struct{}{}
+	rt.recentQ = append(rt.recentQ, fp)
+	if len(rt.recentQ) > rt.cfg.HedgeRecent {
+		old := rt.recentQ[0]
+		rt.recentQ = rt.recentQ[1:]
+		delete(rt.recent, old)
+	}
+	return false
+}
+
+// rememberOwner maps an accepted job ID to the backend that acknowledged
+// it, so polls go straight home instead of scattering.
+func (rt *Router) rememberOwner(jobID, backendID string) {
+	rt.ownerMu.Lock()
+	defer rt.ownerMu.Unlock()
+	if _, ok := rt.owners[jobID]; ok {
+		rt.owners[jobID] = backendID
+		return
+	}
+	rt.owners[jobID] = backendID
+	rt.ownerQ = append(rt.ownerQ, jobID)
+	if len(rt.ownerQ) > 4096 {
+		old := rt.ownerQ[0]
+		rt.ownerQ = rt.ownerQ[1:]
+		delete(rt.owners, old)
+	}
+}
+
+func (rt *Router) ownerOf(jobID string) (string, bool) {
+	rt.ownerMu.Lock()
+	defer rt.ownerMu.Unlock()
+	id, ok := rt.owners[jobID]
+	return id, ok
+}
+
+// candidates returns the ring's replica order for key with each backend's
+// live state attached; the caller filters admissibility per attempt (state
+// can change between attempts).
+func (rt *Router) candidates(key uint64) []*backend {
+	ids := rt.ring.pick(key)
+	out := make([]*backend, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, rt.backends[id])
+	}
+	return out
+}
+
+// Stats is the router's /v1/stats document.
+type Stats struct {
+	Backends map[string]BackendStats `json:"backends"`
+	// ReadyBackends counts backends currently accepting work.
+	ReadyBackends int `json:"ready_backends"`
+	// Ring geometry.
+	RingBackends int `json:"ring_backends"`
+	RingReplicas int `json:"ring_replicas"`
+	// Counters: forward attempts, retries, hedges, probes, QoS decisions.
+	Counters map[string]uint64 `json:"counters"`
+	// Tenants is the per-tenant QoS table; TenantsEvicted counts bounded-
+	// table evictions.
+	Tenants        map[string]qos.TenantStats `json:"tenants"`
+	TenantsEvicted uint64                     `json:"tenants_evicted"`
+	// Trace reports the router's own trace collector, when enabled.
+	Trace *trace.CollectorStats `json:"trace,omitempty"`
+}
+
+// Stats snapshots the router.
+func (rt *Router) Stats() Stats {
+	now := rt.cfg.now()
+	st := Stats{
+		Backends:     make(map[string]BackendStats, len(rt.backends)),
+		RingBackends: len(rt.order),
+		RingReplicas: rt.cfg.Replicas,
+		Counters:     rt.counters(),
+	}
+	for id, b := range rt.backends {
+		bs := b.stats()
+		st.Backends[id] = bs
+		if b.usable(now) {
+			st.ReadyBackends++
+		}
+	}
+	st.Tenants, st.TenantsEvicted = rt.adm.Stats()
+	if rt.traces != nil {
+		c := rt.traces.Stats()
+		st.Trace = &c
+	}
+	return st
+}
+
+// usable reports whether the backend could accept a request right now,
+// without consuming a half-open trial ticket (stats/readyz use this).
+func (b *backend) usable(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.drained {
+		return false
+	}
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		return !now.Before(b.openUntil)
+	case stateHalfOpen:
+		return true
+	}
+	return false
+}

@@ -30,13 +30,21 @@ const maxBodyBytes = 8 << 20
 //	GET  /v1/jobs/{id} poll a job; terminal states carry the result inline
 //	GET  /v1/trace/{id}    one retained trace as OTLP-shaped JSON
 //	GET  /v1/trace/stream  live NDJSON firehose of completed traces
-//	GET  /v1/healthz   liveness; 503 once draining
+//	GET  /v1/healthz   pure liveness; 200 as long as the process serves HTTP
+//	GET  /v1/readyz    readiness; 503 while draining or when the WAL cannot
+//	                   acknowledge jobs (routers eject backends on this)
 //	GET  /v1/stats     metrics snapshot
 //
 // Every route is wrapped in a recover middleware: a handler panic fails that
 // request with a structured 500 (code "internal") and leaves the server up.
 // Error responses are JSON {"error": ..., "code": ...}; see writeError for
 // the code → status taxonomy.
+//
+// Requests may carry an X-Merlin-Tenant header (set by clients or stamped by
+// merlinrouter after QoS admission): the tenant name is attached to the
+// request's trace and counted, so per-tenant behavior is observable end to
+// end without the service itself enforcing quotas — admission is the router
+// tier's job.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/route", s.handleRoute)
@@ -46,8 +54,40 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/trace/stream", s.handleTraceStream)
 	mux.HandleFunc("GET /v1/trace/{id}", s.handleTraceGet)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return s.recoverWare(mux)
+	return s.recoverWare(tenantWare(mux))
+}
+
+// TenantHeader names the tenant a request belongs to; merlinrouter keys its
+// per-tenant QoS off it and forwards it here for tracing.
+const TenantHeader = "X-Merlin-Tenant"
+
+type tenantCtxKey struct{}
+
+// WithTenant returns ctx carrying the tenant name (empty name = unchanged).
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantCtxKey{}, tenant)
+}
+
+// TenantFromContext returns the tenant name carried by ctx, if any.
+func TenantFromContext(ctx context.Context) string {
+	t, _ := ctx.Value(tenantCtxKey{}).(string)
+	return t
+}
+
+// tenantWare lifts the X-Merlin-Tenant header into the request context so
+// Route/SubmitJob can stamp it onto traces without re-reading headers.
+func tenantWare(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t := r.Header.Get(TenantHeader); t != "" {
+			r = r.WithContext(WithTenant(r.Context(), t))
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // statusWriter remembers whether a response has started, so the recover
@@ -183,10 +223,22 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// handleHealthz is pure liveness: 200 whenever the process is up and serving
+// HTTP, draining or not. "Restart me" (healthz) and "stop routing to me"
+// (readyz) are different questions — conflating them makes an orchestrator
+// kill a server that is carefully draining its in-flight work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.met.inc("requests.healthz")
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while draining or while the journal cannot
+// acknowledge jobs. The router's health prober ejects backends on this
+// signal without touching their in-flight work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.readyz")
+	if ok, reason := s.Ready(); !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

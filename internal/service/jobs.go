@@ -226,8 +226,10 @@ func (s *Server) SubmitJob(ctx context.Context, req *RouteRequest, idemKey strin
 		if merr != nil {
 			s.jobsMu.Unlock()
 			s.met.inc("journal.errors")
+			s.jourDown.Store(true) // readyz flips 503 until an append succeeds
 			return nil, false, fmt.Errorf("%w: %v", ErrDurability, merr)
 		}
+		s.jourDown.Store(false)
 	}
 	s.registerJobLocked(e)
 	s.met.inc("jobs.submitted")
@@ -437,9 +439,11 @@ func (s *Server) appendTerminalLocked(rec walRecord) {
 	}
 	if err != nil {
 		s.met.inc("journal.errors")
+		s.jourDown.Store(true)
 		log.Printf("service: terminal record for job %s not journaled (job will re-run after a crash): %v", rec.ID, err)
 		return
 	}
+	s.jourDown.Store(false)
 	s.termSinceSnap++
 	if s.cfg.SnapshotEvery > 0 && s.termSinceSnap >= s.cfg.SnapshotEvery {
 		s.snapshotLocked()

@@ -346,6 +346,20 @@ func TestDurabilityUnavailable(t *testing.T) {
 	if status, code := classifyError(err); status != http.StatusServiceUnavailable || code != "durability_unavailable" {
 		t.Errorf("classified as %d %s, want 503 durability_unavailable", status, code)
 	}
+
+	// The failed append must also flip readiness — a server that cannot
+	// acknowledge jobs should be drained from the ring, not restarted, so
+	// readyz (not healthz) reports it.
+	if ok, reason := s.Ready(); ok || reason != "journal_unavailable" {
+		t.Errorf("Ready() after append failure = %v %q, want false journal_unavailable", ok, reason)
+	}
+	// A subsequent successful append clears it.
+	if _, _, err := s.SubmitJob(context.Background(), &RouteRequest{Net: testNet(t, 6, 52)}, ""); err != nil {
+		t.Fatalf("submit after journal recovered: %v", err)
+	}
+	if ok, reason := s.Ready(); !ok {
+		t.Errorf("Ready() after recovery = false %q, want true", reason)
+	}
 }
 
 // TestNewDurableRequiresDir pins the constructor contract.

@@ -278,7 +278,8 @@ func TestQueueFullSetsRetryAfter(t *testing.T) {
 }
 
 // TestDrainPath covers the SIGTERM path at the service level (cmd/merlind
-// wires SIGTERM to Shutdown): once draining, healthz flips to 503 and new
+// wires SIGTERM to Shutdown): once draining, readyz flips to 503 (healthz
+// stays 200 — the process is still alive and draining deliberately) and new
 // routes are refused with shutting_down, while the in-flight job runs to
 // completion and Shutdown returns cleanly.
 func TestDrainPath(t *testing.T) {
@@ -311,8 +312,13 @@ func TestDrainPath(t *testing.T) {
 
 	resp := mustGet(t, ts.URL+"/v1/healthz")
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: status %d, want 200 (liveness, not readiness)", resp.StatusCode)
+	}
+	resp = mustGet(t, ts.URL+"/v1/readyz")
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining: status %d, want 503", resp.StatusCode)
+		t.Errorf("readyz while draining: status %d, want 503", resp.StatusCode)
 	}
 	wantError(t, ts.URL+"/v1/route", &RouteRequest{Net: testNet(t, 6, 62)},
 		http.StatusServiceUnavailable, "shutting_down")

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"merlin/internal/core"
@@ -226,12 +227,16 @@ type Server struct {
 	jour  *journal.Journal // write-ahead log of job accept/terminal records
 	store *journal.Store   // checksummed persistent result store
 	audit *trace.AuditLog  // hash-chained job-lifecycle audit log
+	// jourDown latches after a failed WAL append and clears on the next
+	// success; readiness (not liveness) keys off it — a server that cannot
+	// acknowledge jobs durably should stop receiving new work, not restart.
+	jourDown atomic.Bool
 
 	jobsMu        sync.Mutex // guards the async job table below
 	jobsByID      map[string]*jobEntry
 	jobsByIdem    map[string]*jobEntry
-	jobOrder      []string // insertion order, for bounded eviction
-	termSinceSnap int      // terminal records since the last snapshot
+	jobOrder      []string       // insertion order, for bounded eviction
+	termSinceSnap int            // terminal records since the last snapshot
 	runners       sync.WaitGroup // async job runner goroutines
 	replayStats   journal.ReplayStats
 }
@@ -341,6 +346,12 @@ func (s *Server) startWorkers() {
 // ring evicts it.
 func (s *Server) Route(ctx context.Context, req *RouteRequest) (*RouteResponse, error) {
 	ctx, tr, root := s.traces.Start(ctx, "route")
+	if t := TenantFromContext(ctx); t != "" {
+		s.met.inc("requests.tenant_labeled")
+		if root != nil {
+			root.SetAttr("tenant", t)
+		}
+	}
 	resp, err := s.routeTraced(ctx, req)
 	if root != nil {
 		if req.Net != nil {
@@ -601,6 +612,22 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
+// Ready reports whether the server should receive new work, and when not,
+// why ("draining" or "journal_unavailable"). It is the /v1/readyz answer and
+// the signal routers eject backends on — deliberately separate from
+// liveness: a draining server is healthy (don't restart it) but not ready
+// (stop routing to it), and a server whose WAL cannot acknowledge jobs is
+// not ready either, while restarting it would not help the disk.
+func (s *Server) Ready() (bool, string) {
+	if s.Draining() {
+		return false, "draining"
+	}
+	if s.jour != nil && s.jourDown.Load() {
+		return false, "journal_unavailable"
+	}
+	return true, ""
+}
+
 // worker is one pool goroutine: it owns its engine cache outright, which is
 // what makes engine reuse race-free (engines are not goroutine-safe; see
 // core.NewEngine).
@@ -727,14 +754,17 @@ func (s *Server) runJob(j *job, engines *lruCache) {
 type Stats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Build identifies what is serving: version, Go toolchain, VCS revision.
-	Build         BuildInfo                 `json:"build"`
-	Workers       int                       `json:"workers"`
-	QueueDepth    int                       `json:"queue_depth"`
-	QueueCapacity int                       `json:"queue_capacity"`
-	Draining      bool                      `json:"draining"`
-	Counters      map[string]uint64         `json:"counters"`
-	Cache         CacheStats                `json:"cache"`
-	LatencyMS     map[string]HistogramStats `json:"latency_ms"`
+	Build         BuildInfo `json:"build"`
+	Workers       int       `json:"workers"`
+	QueueDepth    int       `json:"queue_depth"`
+	QueueCapacity int       `json:"queue_capacity"`
+	Draining      bool      `json:"draining"`
+	// Ready mirrors /v1/readyz; NotReadyReason is empty when Ready.
+	Ready          bool                      `json:"ready"`
+	NotReadyReason string                    `json:"not_ready_reason,omitempty"`
+	Counters       map[string]uint64         `json:"counters"`
+	Cache          CacheStats                `json:"cache"`
+	LatencyMS      map[string]HistogramStats `json:"latency_ms"`
 	// TiersServed counts answers per degradation-ladder tier.
 	TiersServed map[string]uint64 `json:"tiers_served"`
 	// Brownout is the overload controller's state.
@@ -838,17 +868,20 @@ func (s *Server) Stats() Stats {
 		tcs = &c
 	}
 	bt := s.brown.tier()
+	ready, notReady := s.Ready()
 	return Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Build:         buildInfo(),
-		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.jobs),
-		QueueCapacity: s.cfg.QueueDepth,
-		Draining:      s.Draining(),
-		Counters:      counters,
-		Cache:         cs,
-		LatencyMS:     hists,
-		TiersServed:   tiers,
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Build:          buildInfo(),
+		Workers:        s.cfg.Workers,
+		QueueDepth:     len(s.jobs),
+		QueueCapacity:  s.cfg.QueueDepth,
+		Draining:       s.Draining(),
+		Ready:          ready,
+		NotReadyReason: notReady,
+		Counters:       counters,
+		Cache:          cs,
+		LatencyMS:      hists,
+		TiersServed:    tiers,
 		Brownout: BrownoutStats{
 			Tier:    bt.String(),
 			Level:   int(bt),

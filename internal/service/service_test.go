@@ -411,23 +411,32 @@ func TestValidation(t *testing.T) {
 	}
 }
 
-// TestHealthz covers both liveness states.
+// TestHealthz: healthz is pure liveness (200 even after Shutdown — "restart
+// me" and "stop routing to me" are different questions), while readyz flips
+// to 503 the moment the server drains.
 func TestHealthz(t *testing.T) {
 	s := New(Config{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
-	resp := mustGet(t, ts.URL+"/v1/healthz")
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthy status %d", resp.StatusCode)
+	for _, path := range []string{"/v1/healthz", "/v1/readyz"} {
+		resp := mustGet(t, ts.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s before drain: status %d, want 200", path, resp.StatusCode)
+		}
+		resp.Body.Close()
 	}
-	resp.Body.Close()
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	resp = mustGet(t, ts.URL+"/v1/healthz")
+	resp := mustGet(t, ts.URL+"/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining: status %d, want 200 (liveness must not flip on drain)", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = mustGet(t, ts.URL+"/v1/readyz")
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining status %d, want 503", resp.StatusCode)
+		t.Fatalf("readyz while draining: status %d, want 503", resp.StatusCode)
 	}
 	resp.Body.Close()
 }

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped exponential delays with full jitter. It is the
+// one backoff policy in the repo: the client's retry sleeps and the router's
+// circuit-breaker ejection timeouts both come from here, so "how fast do we
+// come back" is defined in exactly one place.
+//
+// Delay(attempt) for attempt 0,1,2,... grows Base<<attempt up to Max, then
+// jitters uniformly in [d/2, d] — full jitter breaks retry synchronization
+// across clients hammering the same recovering server. The zero value is
+// not usable; construct with NewBackoff.
+type Backoff struct {
+	// Base is the attempt-0 delay before jitter (default 100ms).
+	Base time.Duration
+	// Max caps the un-jittered exponential growth (default 5s).
+	Max time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a Backoff with the given base and ceiling; zero values
+// take the defaults (100ms, 5s). seed 0 seeds from the clock; any other
+// value makes the jitter deterministic, for tests.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed re-seeds the jitter source (tests).
+func (b *Backoff) Seed(seed int64) {
+	b.mu.Lock()
+	b.rng = rand.New(rand.NewSource(seed))
+	b.mu.Unlock()
+}
+
+// Delay returns the jittered sleep for the given zero-based attempt. A hint
+// longer than the computed value wins — a server's Retry-After knows its
+// queue better than our exponent does. Pass hint 0 when there is none.
+func (b *Backoff) Delay(attempt int, hint time.Duration) time.Duration {
+	d := b.Base << uint(attempt)
+	if d > b.Max || d <= 0 {
+		d = b.Max
+	}
+	b.mu.Lock()
+	jittered := d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.mu.Unlock()
+	if hint > jittered {
+		return hint
+	}
+	return jittered
+}

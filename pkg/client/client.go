@@ -19,8 +19,14 @@
 // replayable by the client (the caller has seen results), so mid-stream
 // failures are never retried — see BatchStream.
 //
-// The probes Healthz and Stats never retry: they exist to observe the
-// server's current state, and a retried probe answers a different question.
+// The probes Healthz, Readyz and Stats never retry: they exist to observe
+// the server's current state, and a retried probe answers a different
+// question.
+//
+// Multi-endpoint failover. WithEndpoints configures a list of equivalent
+// base URLs (a ring of merlinds, or several routers); a connection failure
+// rotates to the next one before the retry, so client-side failover costs
+// one attempt instead of the whole budget. See WithEndpoints.
 package client
 
 import (
@@ -30,7 +36,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
@@ -73,16 +78,18 @@ func (e *APIError) Retryable() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
-// Client talks to one merlind server. It is safe for concurrent use.
+// Client talks to one merlind server — or, with WithEndpoints, to a list of
+// equivalent servers with client-side failover: a connection failure rotates
+// to the next base URL before the retry, so one dead backend costs one
+// attempt, not the whole budget. It is safe for concurrent use.
 type Client struct {
-	base        string
-	hc          *http.Client
-	maxRetries  int
-	baseBackoff time.Duration
-	maxBackoff  time.Duration
+	hc         *http.Client
+	maxRetries int
+	bo         *Backoff
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu        sync.Mutex
+	endpoints []string
+	cur       int
 }
 
 // Option configures a Client.
@@ -100,28 +107,83 @@ func WithMaxRetries(n int) Option { return func(c *Client) { c.maxRetries = n } 
 // (defaults 100ms and 5s). A server Retry-After hint overrides the computed
 // backoff when it is longer.
 func WithBackoff(base, max time.Duration) Option {
-	return func(c *Client) { c.baseBackoff, c.maxBackoff = base, max }
+	return func(c *Client) { c.bo.Base, c.bo.Max = base, max }
 }
 
 // WithSeed makes the backoff jitter deterministic, for tests.
 func WithSeed(seed int64) Option {
-	return func(c *Client) { c.rng = rand.New(rand.NewSource(seed)) }
+	return func(c *Client) { c.bo.Seed(seed) }
+}
+
+// WithEndpoints replaces the client's endpoint list with the given base
+// URLs (the New baseURL plus these, deduplicated, in order). Requests go to
+// the current endpoint; a connection failure rotates to the next one for
+// the retry, so callers fail over across a ring of equivalent backends (or
+// routers) without giving up their retry budget to one dead host. Rotation
+// is sticky: once an endpoint works, subsequent requests keep using it.
+func WithEndpoints(urls ...string) Option {
+	return func(c *Client) {
+		for _, u := range urls {
+			u = strings.TrimRight(u, "/")
+			if u == "" {
+				continue
+			}
+			dup := false
+			for _, have := range c.endpoints {
+				if have == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				c.endpoints = append(c.endpoints, u)
+			}
+		}
+	}
 }
 
 // New returns a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base:        strings.TrimRight(baseURL, "/"),
-		hc:          &http.Client{},
-		maxRetries:  4,
-		baseBackoff: 100 * time.Millisecond,
-		maxBackoff:  5 * time.Second,
-		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+		hc:         &http.Client{},
+		maxRetries: 4,
+		bo:         NewBackoff(0, 0, 0),
+	}
+	if base := strings.TrimRight(baseURL, "/"); base != "" {
+		c.endpoints = []string{base}
 	}
 	for _, o := range opts {
 		o(c)
 	}
+	if len(c.endpoints) == 0 {
+		c.endpoints = []string{""}
+	}
 	return c
+}
+
+// Endpoints returns the configured base URLs in rotation order.
+func (c *Client) Endpoints() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.endpoints...)
+}
+
+// base returns the current endpoint and its rotation cursor.
+func (c *Client) baseURL() (string, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.endpoints[c.cur], c.cur
+}
+
+// rotate advances past the endpoint at cursor `from` unless a concurrent
+// request already did — two requests failing on the same dead endpoint
+// should skip it once, not twice.
+func (c *Client) rotate(from int) {
+	c.mu.Lock()
+	if c.cur == from && len(c.endpoints) > 1 {
+		c.cur = (c.cur + 1) % len(c.endpoints)
+	}
+	c.mu.Unlock()
 }
 
 // Route routes one net, retrying per the package policy.
@@ -179,10 +241,28 @@ func (c *Client) BatchStream(ctx context.Context, req *service.BatchRequest, fn 
 	}
 }
 
-// Healthz probes /v1/healthz once (no retries): nil when the server is live,
-// an *APIError with status 503 when it is draining.
+// Healthz probes /v1/healthz once (no retries): pure liveness — nil whenever
+// the process is up and serving HTTP, even while draining. Use Readyz to ask
+// whether it should receive new work.
 func (c *Client) Healthz(ctx context.Context) error {
 	resp, err := c.get(ctx, "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return nil
+	}
+	return apiErrorFrom(resp)
+}
+
+// Readyz probes /v1/readyz once (no retries): nil when the server is ready
+// for new work, an *APIError with status 503 when it is draining or its
+// durability layer is unavailable. Routers eject backends on this signal,
+// not on healthz — "restart me" and "stop routing to me" are different
+// questions.
+func (c *Client) Readyz(ctx context.Context) error {
+	resp, err := c.get(ctx, "/v1/readyz")
 	if err != nil {
 		return err
 	}
@@ -243,7 +323,8 @@ func (c *Client) doRetry(ctx context.Context, path string, body []byte, header h
 		if err := ctx.Err(); err != nil {
 			return nil, c.abort(err, lastErr)
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		base, cur := c.baseURL()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -255,10 +336,16 @@ func (c *Client) doRetry(ctx context.Context, path string, body []byte, header h
 		}
 		resp, err := c.hc.Do(req)
 		var wait time.Duration
+		rotated := false
 		switch {
 		case err != nil:
 			// Transport failure before a verdict; the request is replayable.
+			// With multiple endpoints this is the failover trigger: rotate to
+			// the next base URL and try it immediately — sleeping a backoff
+			// before a different, probably-healthy host only adds latency.
 			lastErr = err
+			c.rotate(cur)
+			rotated = len(c.Endpoints()) > 1
 		case resp.StatusCode/100 == 2:
 			return resp, nil
 		default:
@@ -268,11 +355,20 @@ func (c *Client) doRetry(ctx context.Context, path string, body []byte, header h
 			}
 			lastErr = apiErr
 			wait = apiErr.RetryAfter
+			// A 503 (draining/overloaded) is a verdict about this host, not
+			// the ring: rotate, but keep the backoff sleep — its siblings
+			// are likely feeling the same load.
+			if apiErr.Status == http.StatusServiceUnavailable {
+				c.rotate(cur)
+			}
 		}
 		if attempt >= c.maxRetries {
 			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
-		if err := c.sleep(ctx, c.backoff(attempt, wait)); err != nil {
+		if rotated {
+			continue
+		}
+		if err := c.sleep(ctx, c.bo.Delay(attempt, wait)); err != nil {
 			return nil, c.abort(err, lastErr)
 		}
 	}
@@ -287,21 +383,9 @@ func (c *Client) abort(ctxErr, lastErr error) error {
 	return fmt.Errorf("client: %w (last failure: %v)", ctxErr, lastErr)
 }
 
-// backoff computes the attempt's sleep: exponential base growth capped at
-// maxBackoff, with full jitter (uniform in [d/2, d)); a server hint longer
-// than the computed value wins — the server knows its queue.
+// backoff delegates to the shared Backoff policy (see backoff.go).
 func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
-	d := c.baseBackoff << uint(attempt)
-	if d > c.maxBackoff || d <= 0 {
-		d = c.maxBackoff
-	}
-	c.mu.Lock()
-	jittered := d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
-	c.mu.Unlock()
-	if hint > jittered {
-		return hint
-	}
-	return jittered
+	return c.bo.Delay(attempt, hint)
 }
 
 func (c *Client) sleep(ctx context.Context, d time.Duration) error {
@@ -316,11 +400,18 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 }
 
 func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	base, cur := c.baseURL()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return nil, err
 	}
-	return c.hc.Do(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		// Probes don't retry, but a dead endpoint should still not pin the
+		// cursor: rotate so the caller's next call tries a live sibling.
+		c.rotate(cur)
+	}
+	return resp, err
 }
 
 // apiErrorFrom builds an *APIError from a non-2xx response, consuming and

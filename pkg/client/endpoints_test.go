@@ -1,0 +1,132 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"merlin/internal/service"
+)
+
+// deadEndpoint reserves a port, closes it, and returns a base URL that will
+// refuse connections for the test's lifetime (nothing re-listens).
+func deadEndpoint(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return "http://" + addr
+}
+
+func TestEndpointFailoverOnConnectionError(t *testing.T) {
+	var calls atomic.Int32
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		json.NewEncoder(w).Encode(service.RouteResponse{Net: "ok"})
+	}))
+	defer live.Close()
+
+	c := New(deadEndpoint(t),
+		WithEndpoints(live.URL),
+		WithMaxRetries(2),
+		WithBackoff(time.Millisecond, 4*time.Millisecond),
+		WithSeed(1))
+	resp, err := c.Route(context.Background(), &service.RouteRequest{})
+	if err != nil {
+		t.Fatalf("failover route: %v", err)
+	}
+	if resp.Net != "ok" {
+		t.Fatalf("resp.Net = %q", resp.Net)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("live endpoint saw %d calls, want 1", got)
+	}
+
+	// Rotation is sticky: the next request goes straight to the live host.
+	if _, err := c.Route(context.Background(), &service.RouteRequest{}); err != nil {
+		t.Fatalf("second route: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("live endpoint saw %d calls after second route, want 2", got)
+	}
+}
+
+func TestEndpointRotationOn503(t *testing.T) {
+	var drainCalls, liveCalls atomic.Int32
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		drainCalls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(service.ErrorBody{Error: "draining", Code: "shutting_down"})
+	}))
+	defer draining.Close()
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveCalls.Add(1)
+		json.NewEncoder(w).Encode(service.RouteResponse{Net: "ok"})
+	}))
+	defer live.Close()
+
+	c := New(draining.URL,
+		WithEndpoints(live.URL),
+		WithMaxRetries(2),
+		WithBackoff(time.Millisecond, 4*time.Millisecond),
+		WithSeed(1))
+	if _, err := c.Route(context.Background(), &service.RouteRequest{}); err != nil {
+		t.Fatalf("route past draining host: %v", err)
+	}
+	if got := drainCalls.Load(); got != 1 {
+		t.Fatalf("draining endpoint saw %d calls, want 1", got)
+	}
+	if got := liveCalls.Load(); got != 1 {
+		t.Fatalf("live endpoint saw %d calls, want 1", got)
+	}
+}
+
+func TestEndpointsAllDeadGivesUp(t *testing.T) {
+	c := New(deadEndpoint(t),
+		WithEndpoints(deadEndpoint(t)),
+		WithMaxRetries(3),
+		WithBackoff(time.Millisecond, 2*time.Millisecond),
+		WithSeed(1))
+	if _, err := c.Route(context.Background(), &service.RouteRequest{}); err == nil {
+		t.Fatal("want error when every endpoint refuses connections")
+	}
+}
+
+func TestEndpointsDeduplicated(t *testing.T) {
+	c := New("http://a:1/",
+		WithEndpoints("http://a:1", "http://b:2", "http://b:2/"))
+	eps := c.Endpoints()
+	if len(eps) != 2 || eps[0] != "http://a:1" || eps[1] != "http://b:2" {
+		t.Fatalf("endpoints = %v, want [http://a:1 http://b:2]", eps)
+	}
+}
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	b := NewBackoff(100*time.Millisecond, time.Second, 7)
+	for attempt, wantMax := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second, time.Second,
+	} {
+		d := b.Delay(attempt, 0)
+		if d < wantMax/2 || d > wantMax {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, wantMax/2, wantMax)
+		}
+	}
+	// A longer server hint wins.
+	if d := b.Delay(0, 3*time.Second); d != 3*time.Second {
+		t.Fatalf("hinted delay = %v, want 3s", d)
+	}
+	// Overflow-proof: an absurd attempt number still caps at Max.
+	if d := b.Delay(500, 0); d > time.Second {
+		t.Fatalf("attempt 500 delay = %v, want <= 1s", d)
+	}
+}
