@@ -24,6 +24,9 @@
 //   - load_profile — a fixed mixed load (cached + uncached routes at fixed
 //     concurrency) through a live server, reporting exact client-observed
 //     p50/p90/p99/max latency from the sorted samples.
+//   - lint_wall_ms — the wall time of one full merlinlint pass (whole-module
+//     type-check plus every rule), so the `make lint` 30s budget's headroom
+//     is tracked next to the runtime numbers.
 //
 // -quick shrinks iteration counts for smoke use; committed baselines use
 // the defaults.
@@ -48,6 +51,7 @@ import (
 	"merlin/internal/core"
 	"merlin/internal/flows"
 	"merlin/internal/geom"
+	"merlin/internal/lint"
 	"merlin/internal/net"
 	"merlin/internal/qos"
 	"merlin/internal/router"
@@ -101,6 +105,7 @@ type output struct {
 	TraceOverheadPct float64                `json:"trace_overhead_pct"`
 	LoadProfile      loadResult             `json:"load_profile"`
 	RouterHop        routerHopResult        `json:"router_hop"`
+	LintWallMS       int64                  `json:"lint_wall_ms"`
 }
 
 func main() {
@@ -164,7 +169,7 @@ func run(outPath string, quick bool) error {
 	}))
 	doc.Benchmarks["trace.span_enabled"] = wire(testing.Benchmark(func(b *testing.B) {
 		c := trace.NewCollector(4, 0, 1)
-		ctx, _, _ := c.Start(context.Background(), "bench")
+		ctx, tr, root := c.Start(context.Background(), "bench")
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -172,10 +177,13 @@ func run(outPath string, quick bool) error {
 			sp.End()
 			if i%200 == 199 { // stay under the per-trace span cap
 				b.StopTimer()
-				ctx, _, _ = c.Start(context.Background(), "bench")
+				c.Finish(tr, root)
+				ctx, tr, root = c.Start(context.Background(), "bench")
 				b.StartTimer()
 			}
 		}
+		b.StopTimer()
+		c.Finish(tr, root)
 	}))
 
 	// service batch in BenchmarkServiceBatch's configuration, tracing off
@@ -262,6 +270,12 @@ func run(outPath string, quick bool) error {
 	}
 	doc.RouterHop = hop
 
+	lintMS, err := runLintPass()
+	if err != nil {
+		return err
+	}
+	doc.LintWallMS = lintMS
+
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -272,6 +286,25 @@ func run(outPath string, quick bool) error {
 		return err
 	}
 	return os.WriteFile(outPath, b, 0o644)
+}
+
+// runLintPass times one full merlinlint run over the repository this binary
+// was built from — the same whole-module type-check and rule suite `make
+// lint` pays — and insists the tree is clean while it's at it.
+func runLintPass() (int64, error) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	diags, err := lint.LintRepo(root)
+	if err != nil {
+		return 0, err
+	}
+	if len(diags) > 0 {
+		return 0, fmt.Errorf("repo not lint-clean (%d findings); fix before baselining", len(diags))
+	}
+	return time.Since(start).Milliseconds(), nil
 }
 
 // runRouterHop measures the router's per-request overhead: one backend

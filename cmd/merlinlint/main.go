@@ -1,22 +1,31 @@
 // Command merlinlint runs the repository's project-invariant static analysis
-// (internal/lint): named rules enforcing the contracts the service and the
-// DP core rely on — Ctx-only engine entry points, panic-guarded goroutines,
-// registered fault-injection sites, taxonomy-routed HTTP errors, and
-// panic-free DP library code. See DESIGN.md "Static analysis & runtime
-// invariants" for the rule catalog and the //lint:allow escape hatch.
+// (internal/lint): the whole module is parsed and type-checked, a
+// conservative call graph is built over it, and named rules enforce the
+// contracts the service and the DP core rely on — Ctx-only engine entry
+// points, panic-guarded goroutines (syntactic and call-graph-transitive),
+// mutex and trace-span release discipline, allocation-free DP hot paths,
+// request-scoped context flow, registered fault-injection sites,
+// taxonomy-routed HTTP errors, and panic-free DP library code. See DESIGN.md
+// "Static analysis & runtime invariants" for the rule catalog and the
+// //lint:allow escape hatch.
 //
 // Usage:
 //
-//	merlinlint [-json] [path]
+//	merlinlint [-json] [-rules] [-allows] [path]
 //
 // path defaults to "."; a trailing "/..." is accepted (and ignored — the
 // whole module under the nearest go.mod is always linted, mirroring how the
-// rules are defined on repo-relative paths). Exit status: 0 clean, 1 when
+// rules are defined on package identity). Exit status: 0 clean, 1 when
 // findings exist, 2 on operational errors.
 //
-// -json emits a JSON array of {file,line,col,rule,message} objects for CI
-// and editor integration; the human form is the go-toolchain
+// -json emits a JSON array of {file,package,line,col,rule,message} objects
+// for CI and editor integration; the human form is the go-toolchain
 // file:line:col style.
+//
+// -allows lists every //lint:allow suppression in the module with its
+// file:line, suppressed rules, and the justification after the `--`
+// separator. A suppression without a reason is a finding in its own right
+// (the allow-reason pseudo-rule) and makes -allows exit 1.
 package main
 
 import (
@@ -37,8 +46,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("merlinlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file,line,col,rule,message)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (file,package,line,col,rule,message)")
 	rules := fs.Bool("rules", false, "list the rules and exit")
+	allows := fs.Bool("allows", false, "list //lint:allow suppressions and their reasons; exit 1 if any reason is missing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +72,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "merlinlint:", err)
 		return 2
+	}
+	if *allows {
+		m, err := lint.LoadModule(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "merlinlint:", err)
+			return 2
+		}
+		missing := 0
+		for _, a := range m.Allows() {
+			reason := a.Reason
+			if reason == "" {
+				reason = "(no reason given)"
+				missing++
+			}
+			fmt.Fprintf(stdout, "%s:%d\t%s -- %s\n", a.File, a.Line, strings.Join(a.Rules, ","), reason)
+		}
+		if missing > 0 {
+			fmt.Fprintf(stderr, "merlinlint: %d suppression(s) without a reason\n", missing)
+			return 1
+		}
+		return 0
 	}
 	diags, err := lint.LintRepo(root)
 	if err != nil {

@@ -46,6 +46,27 @@ func TestRulesFlag(t *testing.T) {
 	}
 }
 
+// TestAllowsFlag: -allows inventories the repo's suppressions; every entry
+// must carry a `--` reason (the repo gate), so the listing exits 0.
+func TestAllowsFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-allows", "."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no suppressions listed; the repo is known to carry some")
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, " -- ") {
+			t.Errorf("allow entry missing reason separator: %q", line)
+		}
+		if strings.Contains(line, "(no reason given)") {
+			t.Errorf("reason-less suppression in the repo: %q", line)
+		}
+	}
+}
+
 // TestBadFlag: unknown flags are an operational error (exit 2), not findings.
 func TestBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -142,6 +142,15 @@ func (m *model) fetchStats(ctx context.Context) (*service.Stats, error) {
 // tailStream keeps a stream subscription open forever, reconnecting with a
 // fixed backoff when the server drops or restarts.
 func (m *model) tailStream(ctx context.Context) {
+	// This runs on its own goroutine: surface a stream panic as a rendered
+	// error instead of killing the whole viewer.
+	defer func() {
+		if r := recover(); r != nil {
+			m.mu.Lock()
+			m.statsErr = fmt.Errorf("stream tail panic: %v", r)
+			m.mu.Unlock()
+		}
+	}()
 	for {
 		m.streamOnce(ctx)
 		select {

@@ -52,7 +52,7 @@ func Stretch(e Chi) int {
 	}
 	// An invalid Chi is a caller bug, not an input condition; contained by
 	// the engine boundary (recoverToErr in ConstructCtx/MerlinCtx).
-	panic(fmt.Sprintf("core: invalid grouping structure %d", int(e))) //lint:allow nopanic
+	panic(fmt.Sprintf("core: invalid grouping structure %d", int(e))) //lint:allow nopanic -- caller-bug invariant, contained by recoverToErr at the engine boundary
 }
 
 // SinkSet is the SINK_SET routine of Fig. 13, 0-based: the order positions a
@@ -67,11 +67,11 @@ func SinkSet(r, span int, e Chi) []int {
 	left := r - span + 1
 	if left < 0 {
 		// Invariant panic, contained by the engine boundary (robust.go).
-		panic(fmt.Sprintf("core: SinkSet span [%d,%d] out of range", left, r)) //lint:allow nopanic
+		panic(fmt.Sprintf("core: SinkSet span [%d,%d] out of range", left, r)) //lint:allow nopanic -- caller-bug invariant, contained by recoverToErr at the engine boundary
 	}
 	if span < minSpan(e) {
 		// Invariant panic, contained by the engine boundary (robust.go).
-		panic(fmt.Sprintf("core: SinkSet span %d too short for %v", span, e)) //lint:allow nopanic
+		panic(fmt.Sprintf("core: SinkSet span %d too short for %v", span, e)) //lint:allow nopanic -- caller-bug invariant, contained by recoverToErr at the engine boundary
 	}
 	out := make([]int, 0, span-Stretch(e))
 	for p := left; p <= r; p++ {

@@ -129,7 +129,15 @@ func (c *Curve) Prune() {
 		for j < len(stair) && stair[j].req <= s.Req {
 			j++
 		}
-		stair = append(stair[:i], append([]step{{s.Area, s.Req}}, stair[j:]...)...)
+		// Splice s into [i, j) in place: the staircase peaks at len(sols),
+		// so after the make above this never reallocates.
+		if j == i {
+			stair = append(stair, step{})
+			copy(stair[i+1:], stair[i:])
+		} else {
+			stair = append(stair[:i+1], stair[j:]...)
+		}
+		stair[i] = step{s.Area, s.Req}
 	}
 	out := sols[:0]
 	for _, s := range sols {

@@ -1,0 +1,50 @@
+package lint
+
+import "go/types"
+
+// ctxflow forbids minting fresh root contexts inside request-scoped serving
+// code. A context.Background() (or TODO()) reachable from an HTTP handler
+// severs the request's cancellation chain and trace linkage: work keyed off
+// it outlives client disconnects, ignores server shutdown deadlines, and
+// drops out of the request's span tree. Request-scoped code derives from the
+// context it was handed.
+//
+// "Request-scoped" is computed, not guessed: the handlers the call graph
+// recognises (handle*/Handle* names or (http.ResponseWriter, *http.Request)
+// signatures) are the roots, and everything synchronously reachable from
+// them is in scope. Code that detaches from the request *by design* — an
+// async job body launched through a guarded `go` wrapper, a background
+// flusher — is not synchronously reachable and is therefore exempt without
+// annotation; the detachment point itself (the function-literal launch) is
+// the boundary the graph refuses to cross.
+var ctxflowRule = &Rule{
+	Name: "ctxflow",
+	Doc:  "no context.Background/TODO on the synchronous path of request handling",
+	PackageCheck: func(p *Package) []Diagnostic {
+		if !pkgWithin(p.Rel, "internal/service", "internal/flows", "internal/router",
+			"internal/qos", "internal/journal", "internal/trace", "internal/degrade",
+			"pkg/client") {
+			return nil
+		}
+		g := p.Graph()
+		var roots []*types.Func
+		for fn, n := range g.Nodes {
+			if n.Handler {
+				roots = append(roots, fn)
+			}
+		}
+		reach := g.ReachableFrom(roots)
+		var out []Diagnostic
+		for fn, n := range g.Nodes {
+			if n.Pkg != p || !reach[fn] {
+				continue
+			}
+			for _, pos := range n.BgCalls {
+				out = append(out, n.File.diag(pos, "ctxflow",
+					"%s runs on a request's synchronous path but mints a root context: this severs cancellation and tracing — thread the request's ctx through, or detach explicitly via a guarded goroutine", fn.Name()))
+			}
+		}
+		sortDiagnostics(out)
+		return out
+	},
+}

@@ -18,8 +18,8 @@ import (
 var ctxonlyRule = &Rule{
 	Name: "ctxonly",
 	Doc:  "serving code must use the Ctx engine entry points (ConstructCtx, MerlinCtx, flows.RunCtx)",
-	Applies: func(path string) bool {
-		return !isTestFile(path) && underAny(path, "internal/service", "pkg/client", "cmd")
+	Applies: func(f *File) bool {
+		return !f.Test && pkgWithin(f.PkgRel, "internal/service", "pkg/client", "cmd")
 	},
 	Check: checkCtxOnly,
 }

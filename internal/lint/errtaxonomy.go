@@ -25,8 +25,8 @@ import (
 var errtaxonomyRule = &Rule{
 	Name: "errtaxonomy",
 	Doc:  "internal/service error responses must go through the taxonomy writer in http.go",
-	Applies: func(path string) bool {
-		return underAny(path, "internal/service") && !isTestFile(path) && path != "internal/service/http.go"
+	Applies: func(f *File) bool {
+		return pkgWithin(f.PkgRel, "internal/service") && !f.Test && f.Path != "internal/service/http.go"
 	},
 	Check: checkErrTaxonomy,
 }

@@ -25,8 +25,8 @@ import (
 var faultsiteRule = &Rule{
 	Name: "faultsite",
 	Doc:  "fault-injection site names must be registered Site* constants of internal/faultinject",
-	Applies: func(path string) bool {
-		return !underAny(path, "internal/faultinject") && !strings.HasPrefix(path, "internal/faultinject")
+	Applies: func(f *File) bool {
+		return !pkgWithin(f.PkgRel, "internal/faultinject")
 	},
 	Check: checkFaultSite,
 }

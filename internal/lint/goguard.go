@@ -25,8 +25,8 @@ import (
 var goguardRule = &Rule{
 	Name: "goguard",
 	Doc:  "every `go func` literal in serving code must defer a recover or a guard helper",
-	Applies: func(path string) bool {
-		return !isTestFile(path) && underAny(path, "internal/service", "internal/flows", "cmd")
+	Applies: func(f *File) bool {
+		return !f.Test && pkgWithin(f.PkgRel, "internal/service", "internal/flows", "cmd")
 	},
 	Check: checkGoGuard,
 }

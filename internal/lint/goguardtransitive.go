@@ -1,0 +1,53 @@
+package lint
+
+// goguard-transitive closes the gap the syntactic goguard rule documents
+// but cannot see: `go name()` / `go x.m()` with a *named* function. The
+// literal-only rule trusts that "the guard lives in the named function's
+// own body" — this rule checks it, through the typed call graph: the
+// launched function must reach a recover boundary on its own goroutine.
+//
+// A function reaches a recover boundary when it, or something it
+// synchronously (transitively) calls, defers a qualifying recover — a
+// literal calling recover() or a (?i)guard|recover-named helper — or when
+// its own name marks it as a guard. Reachability is over resolved static
+// calls only; a launched function whose body lives outside the module
+// (stdlib, e.g. http.Server.Serve) is out of reach and is not flagged —
+// the rule reports what it can prove unguarded, not what it cannot see.
+//
+// Note the deliberate leniency: reaching a boundary somewhere below the
+// entry point does not prove every panic site is covered (a deeper callee
+// returning before a later panic leaves the frames above it bare). The
+// rule catches the dominant real bug — a goroutine entry with no recover
+// anywhere beneath it — without drowning real code in false positives;
+// the syntactic goguard rule still forces literals to guard at the top.
+var goguardTransitiveRule = &Rule{
+	Name: "goguard-transitive",
+	Doc:  "named functions launched by `go` in serving code must reach a recover boundary via the call graph",
+	PackageCheck: func(p *Package) []Diagnostic {
+		if !pkgWithin(p.Rel, "internal/service", "internal/flows", "internal/router",
+			"internal/qos", "internal/journal", "internal/trace", "internal/degrade",
+			"cmd", "pkg/client") {
+			return nil
+		}
+		g := p.Graph()
+		var out []Diagnostic
+		for _, n := range g.Nodes {
+			if n.Pkg != p {
+				continue
+			}
+			for _, site := range n.GoSites {
+				if g.ReachesGuard(site.Callee) {
+					continue
+				}
+				if _, inModule := g.Nodes[site.Callee]; !inModule {
+					continue // body outside the module: nothing provable either way
+				}
+				out = append(out, site.File.diag(site.Pos, "goguard-transitive",
+					"goroutine entry %s never reaches a recover boundary: a panic anywhere under it kills the process; defer a recover/guard helper in %s or launch it through a guarded wrapper (e.g. Server.goGuard)",
+					site.Callee.Name(), site.Callee.Name()))
+			}
+		}
+		sortDiagnostics(out)
+		return out
+	},
+}

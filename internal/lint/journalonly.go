@@ -18,8 +18,8 @@ import (
 var journalonlyRule = &Rule{
 	Name: "journalonly",
 	Doc:  "internal/service must do durable file IO only through internal/journal",
-	Applies: func(path string) bool {
-		return !isTestFile(path) && underAny(path, "internal/service")
+	Applies: func(f *File) bool {
+		return !f.Test && pkgWithin(f.PkgRel, "internal/service")
 	},
 	Check: checkJournalOnly,
 }

@@ -19,8 +19,8 @@ import (
 var ladderonlyRule = &Rule{
 	Name: "ladderonly",
 	Doc:  "serving code must reach lttree/vangin only through internal/degrade's ladder",
-	Applies: func(path string) bool {
-		return !isTestFile(path) && underAny(path, "internal/service", "pkg/client", "cmd")
+	Applies: func(f *File) bool {
+		return !f.Test && pkgWithin(f.PkgRel, "internal/service", "pkg/client", "cmd")
 	},
 	Check: checkLadderOnly,
 }

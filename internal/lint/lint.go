@@ -5,35 +5,55 @@
 // the registry, HTTP errors flow through the taxonomy writer, and library
 // code in the DP core never panics outside recover-guarded boundaries.
 //
-// The analysis is purely syntactic (stdlib go/parser + go/ast + go/token; no
-// type information and no network-fetched dependencies), which keeps it
-// hermetic and fast. Each rule documents its matching heuristic; the
-// `//lint:allow <rule> [reason]` comment on the offending line or the line
-// directly above suppresses a finding where the heuristic is wrong or the
-// violation is deliberate and justified.
+// The engine has two layers:
+//
+//   - File rules are syntactic (go/parser + go/ast): each inspects one
+//     parsed file, scoped by the module-relative package the file belongs
+//     to. They are the original eight merlinlint rules.
+//
+//   - Package rules are typed and cross-package: LoadModule parses the
+//     whole module, type-checks every package with go/types (stdlib source
+//     importer — no network-fetched dependencies, hermetic by
+//     construction), and builds a conservative static call graph. Package
+//     rules see resolved method calls, real types and reachability, which
+//     is what lets them check whole-program properties: goroutines guarded
+//     transitively, locks released on every path, spans always ended,
+//     allocations fenced out of registered DP hot functions, and contexts
+//     flowing from handlers instead of being minted mid-request.
+//
+// Each rule documents its matching heuristic; the
+// `//lint:allow <rules> -- <reason>` comment on the offending line or the
+// line directly above suppresses a finding where the heuristic is wrong or
+// the violation is deliberate and justified. The reason is mandatory: a
+// suppression nobody can justify is itself a finding (allow-reason), and
+// `merlinlint -allows` lists every suppression with its reason so the
+// escape-hatch debt is reviewable in one place.
 //
 // Rules (see Rules for the authoritative table):
 //
-//	ctxonly     no blocking non-Ctx engine entry points from serving code
-//	goguard     every `go func` literal in serving code defers a recover/guard
-//	faultsite   fault-injection site strings must be registered in
-//	            internal/faultinject (a typo silently disarms chaos tests)
-//	errtaxonomy HTTP errors in internal/service flow through the designated
-//	            writer in http.go, never http.Error / bare 5xx WriteHeader
-//	nopanic     no panic() in internal/core and internal/curve library code
-//	            outside recover-guarded functions (assertion files built under
-//	            the merlin_invariants tag are exempt by design)
-//	ladderonly  serving code reaches the degradation ladder's lower-rung
-//	            solvers (lttree, vangin) only through internal/degrade, so
-//	            tier accounting and budget slicing cannot be bypassed
-//	journalonly internal/service does durable file IO only through
-//	            internal/journal, which owns checksumming, fsync policy and
-//	            crash-safe replay — never raw os.OpenFile/Create/WriteFile
-//	tracespan   request timing in internal/service handlers and trace/span
-//	            construction go through the internal/trace helpers — no
-//	            hand-rolled time.Now/Since in handlers, no hand-built
-//	            trace.Span/trace.Trace values, no collector-bypassing
-//	            trace.NewTrace in serving code
+//	ctxonly            no blocking non-Ctx engine entry points from serving code
+//	goguard            every `go func` literal in serving code defers a recover/guard
+//	faultsite          fault-injection site strings must be registered in
+//	                   internal/faultinject (a typo silently disarms chaos tests)
+//	errtaxonomy        HTTP errors in internal/service flow through the designated
+//	                   writer in http.go, never http.Error / bare 5xx WriteHeader
+//	nopanic            no panic() in internal/core and internal/curve library code
+//	                   outside recover-guarded functions (assertion files built under
+//	                   the merlin_invariants tag are exempt by design)
+//	ladderonly         serving code reaches the degradation ladder's lower-rung
+//	                   solvers (lttree, vangin) only through internal/degrade
+//	journalonly        internal/service does durable file IO only through
+//	                   internal/journal
+//	tracespan          request timing in internal/service handlers and trace/span
+//	                   construction go through the internal/trace helpers
+//	goguard-transitive named functions launched by `go` in serving code must
+//	                   reach a recover boundary through the static call graph
+//	lockcheck          every mutex Lock is released on all paths, and no
+//	                   lock-containing struct is received or passed by value
+//	spanleak           every trace span Start is paired with End on all paths
+//	hotpath-alloc      no heap allocations inside the registered DP hot functions
+//	ctxflow            no context.Background/TODO minted inside request-scoped
+//	                   serving code; contexts flow from the handler
 package lint
 
 import (
@@ -41,18 +61,20 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
-	"io/fs"
-	"os"
-	"path/filepath"
+	"path"
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding: a rule violation at a position.
 type Diagnostic struct {
 	// File is the repo-relative, slash-separated path.
 	File string `json:"file"`
+	// Package is the module-relative import path of the package the file
+	// belongs to ("" for the module root package).
+	Package string `json:"package"`
 	// Line and Col are 1-based, as printed by the go toolchain.
 	Line int `json:"line"`
 	Col  int `json:"col"`
@@ -67,33 +89,65 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
 }
 
+// Allow is one //lint:allow suppression, as listed by merlinlint -allows.
+type Allow struct {
+	// File is the repo-relative path; Line the 1-based comment line.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Rules are the rule names being suppressed.
+	Rules []string `json:"rules"`
+	// Reason is the mandatory justification after `--`; empty means the
+	// suppression is malformed and is itself reported (allow-reason).
+	Reason string `json:"reason"`
+}
+
 // File is one parsed source file presented to rules.
 type File struct {
-	// Path is the repo-relative, slash-separated path rules scope on. Tests
+	// Path is the repo-relative, slash-separated path rules report at. Tests
 	// may set a logical path different from the on-disk fixture location.
 	Path string
+	// PkgRel is the module-relative package path the file belongs to
+	// ("internal/service"; "" for the module root). Rules scope on package
+	// identity, not path prefixes: when the file was loaded through
+	// LoadModule this is the real package the type checker saw, and for
+	// standalone parses (fixtures) it is derived from the logical path.
+	PkgRel string
+	// Test reports whether this is a _test.go file.
+	Test bool
 	Fset *token.FileSet
 	AST  *ast.File
 	// Registry is the fault-site registry shared across files; nil disables
 	// the faultsite rule (e.g. when linting a tree with no faultinject
 	// package).
 	Registry *Registry
+	// Pkg is the typed package the file belongs to; nil for standalone
+	// parses. Test files belong to a Pkg but carry no type information.
+	Pkg *Package
+
+	// Allows are the file's suppression comments, reasoned or not.
+	Allows []Allow
 
 	allowed map[int]map[string]bool // line → set of rule names allowed there
 }
 
-// Rule is one named project invariant.
+// Rule is one named project invariant. A rule is either file-scoped
+// (Applies + Check: syntactic, one file at a time) or package-scoped
+// (PackageCheck: typed, sees the whole package and, through it, the module
+// call graph).
 type Rule struct {
 	// Name is the stable identifier used in output and //lint:allow comments.
 	Name string
 	// Doc is the one-line description shown by merlinlint -rules.
 	Doc string
-	// Applies reports whether the rule inspects the file at the given
-	// repo-relative path.
-	Applies func(path string) bool
+	// Applies reports whether the file-scoped rule inspects the given file.
+	// Nil for package-scoped rules.
+	Applies func(f *File) bool
 	// Check returns the rule's findings for one file. Allow-comment
 	// suppression is applied by the driver, not by Check.
 	Check func(f *File) []Diagnostic
+	// PackageCheck returns the rule's findings for one typed package.
+	// It is skipped for packages with no type information.
+	PackageCheck func(p *Package) []Diagnostic
 }
 
 // Rules is the authoritative rule table, in reporting order.
@@ -106,9 +160,26 @@ var Rules = []*Rule{
 	ladderonlyRule,
 	nopanicRule,
 	tracespanRule,
+	goguardTransitiveRule,
+	lockcheckRule,
+	spanleakRule,
+	hotpathAllocRule,
+	ctxflowRule,
 }
 
-// pos converts a token.Pos into a Diagnostic at the file's logical path.
+// pkgWithin reports whether the module-relative package path rel is one of
+// roots or nested beneath one of them.
+func pkgWithin(rel string, roots ...string) bool {
+	for _, r := range roots {
+		if rel == r || strings.HasPrefix(rel, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// pos converts a token.Pos into a Diagnostic position at the file's logical
+// path.
 func (f *File) pos(p token.Pos) (file string, line, col int) {
 	position := f.Fset.Position(p)
 	return f.Path, position.Line, position.Column
@@ -117,29 +188,60 @@ func (f *File) pos(p token.Pos) (file string, line, col int) {
 // diag builds a Diagnostic for the node position.
 func (f *File) diag(p token.Pos, rule, format string, args ...any) Diagnostic {
 	file, line, col := f.pos(p)
-	return Diagnostic{File: file, Line: line, Col: col, Rule: rule, Message: fmt.Sprintf(format, args...)}
+	return Diagnostic{File: file, Package: f.PkgRel, Line: line, Col: col, Rule: rule, Message: fmt.Sprintf(format, args...)}
 }
 
-// allowRE matches the escape hatch: //lint:allow rule1 rule2 [-- reason].
-var allowRE = regexp.MustCompile(`lint:allow\s+([a-z, ]+)`)
+// allowRuleRE validates one suppressed rule name.
+var allowRuleRE = regexp.MustCompile(`^[a-z][a-z-]*$`)
 
-// buildAllowed indexes //lint:allow comments by line.
+// parseAllow parses one comment's text as a suppression. Only comments that
+// begin exactly with the marker count — prose that merely mentions
+// lint:allow (docs, rule messages) is not a suppression.
+func parseAllow(text string) (rules []string, reason string, ok bool) {
+	const marker = "lint:allow"
+	var rest string
+	switch {
+	case strings.HasPrefix(text, "//"+marker):
+		rest = strings.TrimPrefix(text, "//"+marker)
+	case strings.HasPrefix(text, "/*"+marker):
+		rest = strings.TrimSuffix(strings.TrimPrefix(text, "/*"+marker), "*/")
+	default:
+		return nil, "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false
+	}
+	spec, reason, _ := strings.Cut(rest, "--")
+	for _, r := range strings.FieldsFunc(spec, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' }) {
+		if allowRuleRE.MatchString(r) {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, "", false
+	}
+	return rules, strings.TrimSpace(reason), true
+}
+
+// buildAllowed indexes //lint:allow comments by line and records them for
+// the -allows listing.
 func (f *File) buildAllowed() {
 	f.allowed = map[int]map[string]bool{}
 	for _, cg := range f.AST.Comments {
 		for _, c := range cg.List {
-			m := allowRE.FindStringSubmatch(c.Text)
-			if m == nil {
+			rules, reason, ok := parseAllow(c.Text)
+			if !ok {
 				continue
 			}
 			line := f.Fset.Position(c.Pos()).Line
+			f.Allows = append(f.Allows, Allow{File: f.Path, Line: line, Rules: rules, Reason: reason})
 			set := f.allowed[line]
 			if set == nil {
 				set = map[string]bool{}
 				f.allowed[line] = set
 			}
-			for _, r := range strings.FieldsFunc(m[1], func(r rune) bool { return r == ' ' || r == ',' }) {
-				set[strings.TrimSpace(r)] = true
+			for _, r := range rules {
+				set[r] = true
 			}
 		}
 	}
@@ -156,6 +258,22 @@ func (f *File) allowedAt(line int, rule string) bool {
 	return false
 }
 
+// reasonlessAllows reports every suppression in the file that is missing
+// the mandatory `-- reason` suffix, as allow-reason diagnostics.
+func (f *File) reasonlessAllows() []Diagnostic {
+	var out []Diagnostic
+	for _, a := range f.Allows {
+		if a.Reason == "" {
+			out = append(out, Diagnostic{
+				File: f.Path, Package: f.PkgRel, Line: a.Line, Col: 1, Rule: "allow-reason",
+				Message: fmt.Sprintf("suppression of %s has no reason: write //lint:allow %s -- <why the invariant bends here>",
+					strings.Join(a.Rules, ","), strings.Join(a.Rules, ",")),
+			})
+		}
+	}
+	return out
+}
+
 // hasBuildTag reports whether the file carries a //go:build constraint
 // mentioning the given tag.
 func hasBuildTag(f *ast.File, tag string) bool {
@@ -169,18 +287,17 @@ func hasBuildTag(f *ast.File, tag string) bool {
 	return false
 }
 
-// underAny reports whether the slash-separated path is beneath one of the
-// given directory prefixes.
-func underAny(path string, dirs ...string) bool {
-	for _, d := range dirs {
-		if strings.HasPrefix(path, d+"/") {
-			return true
-		}
-	}
-	return false
-}
-
 func isTestFile(path string) bool { return strings.HasSuffix(path, "_test.go") }
+
+// pkgRelOf derives the module-relative package path from a repo-relative
+// file path, for files parsed standalone (fixtures).
+func pkgRelOf(logical string) string {
+	dir := path.Dir(logical)
+	if dir == "." {
+		return ""
+	}
+	return dir
+}
 
 // ParseFile parses one file into the shape rules consume. logical is the
 // repo-relative path used for scoping and reporting; filename is the on-disk
@@ -190,17 +307,21 @@ func ParseFile(fset *token.FileSet, logical, filename string, src any) (*File, e
 	if err != nil {
 		return nil, err
 	}
-	f := &File{Path: logical, Fset: fset, AST: af}
+	f := &File{Path: logical, PkgRel: pkgRelOf(logical), Test: isTestFile(logical), Fset: fset, AST: af}
 	f.buildAllowed()
 	return f, nil
 }
 
-// Check runs every applicable rule over one file and returns the surviving
-// (non-suppressed) findings.
+// Check runs every applicable file-scoped rule over one file — plus the
+// allow-reason check — and returns the surviving (non-suppressed) findings.
+// Package-scoped rules run through Module.Lint, not here.
 func Check(f *File) []Diagnostic {
-	var out []Diagnostic
+	out := f.reasonlessAllows()
 	for _, r := range Rules {
-		if r.Applies != nil && !r.Applies(f.Path) {
+		if r.Check == nil {
+			continue
+		}
+		if r.Applies != nil && !r.Applies(f) {
 			continue
 		}
 		for _, d := range r.Check(f) {
@@ -213,53 +334,78 @@ func Check(f *File) []Diagnostic {
 	return out
 }
 
-// skipDirs are never descended into during a repo walk.
-var skipDirs = map[string]bool{
-	".git":         true,
-	"testdata":     true,
-	"vendor":       true,
-	"node_modules": true,
+// CheckPackage runs every package-scoped rule over one typed package and
+// filters findings suppressed by //lint:allow comments. File-scoped rules
+// run through Check; Module.Lint combines both.
+func CheckPackage(p *Package) []Diagnostic {
+	if p.Types == nil {
+		return nil
+	}
+	fileFor := func(path string) *File {
+		for _, f := range p.Files {
+			if f.Path == path {
+				return f
+			}
+		}
+		if p.Mod != nil {
+			return p.Mod.fileByPath(path)
+		}
+		return nil
+	}
+	var out []Diagnostic
+	for _, r := range Rules {
+		if r.PackageCheck == nil {
+			continue
+		}
+		for _, d := range r.PackageCheck(p) {
+			if f := fileFor(d.File); f != nil && f.allowedAt(d.Line, d.Rule) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
-// LintRepo lints every .go file under root (the module root) and returns the
-// findings sorted by file, line, column and rule. The fault-site registry is
-// extracted from root/internal/faultinject when present.
+// LintRepo lints the module rooted at root: one shared parse and type-check
+// (LoadModule), file rules over every file, package rules over every typed
+// package, rule execution fanned out per package. Findings come back sorted
+// by file, line, column and rule.
 func LintRepo(root string) ([]Diagnostic, error) {
-	reg, err := LoadRegistry(filepath.Join(root, "internal", "faultinject"))
-	if err != nil {
-		return nil, fmt.Errorf("lint: loading fault-site registry: %w", err)
-	}
-	fset := token.NewFileSet()
-	var diags []Diagnostic
-	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if skipDirs[d.Name()] || (strings.HasPrefix(d.Name(), ".") && path != root) {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(d.Name(), ".go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		rel = filepath.ToSlash(rel)
-		f, err := ParseFile(fset, rel, path, nil)
-		if err != nil {
-			return fmt.Errorf("lint: %w", err)
-		}
-		f.Registry = reg
-		diags = append(diags, Check(f)...)
-		return nil
-	})
+	m, err := LoadModule(root)
 	if err != nil {
 		return nil, err
 	}
+	return m.Lint(), nil
+}
+
+// Lint runs the full rule suite over the loaded module, in parallel per
+// package.
+func (m *Module) Lint() []Diagnostic {
+	results := make([][]Diagnostic, len(m.Packages))
+	var wg sync.WaitGroup
+	for i, p := range m.Packages {
+		wg.Add(1)
+		go func(i int, p *Package) {
+			defer wg.Done()
+			var diags []Diagnostic
+			for _, f := range p.Files {
+				diags = append(diags, Check(f)...)
+			}
+			diags = append(diags, CheckPackage(p)...)
+			results[i] = diags
+		}(i, p)
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r...)
+	}
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -273,25 +419,4 @@ func LintRepo(root string) ([]Diagnostic, error) {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags, nil
-}
-
-// FindModuleRoot walks upward from dir to the nearest directory containing
-// go.mod; it anchors repo-relative paths when merlinlint is invoked from a
-// subdirectory.
-func FindModuleRoot(dir string) (string, error) {
-	dir, err := filepath.Abs(dir)
-	if err != nil {
-		return "", err
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
-		}
-		dir = parent
-	}
 }

@@ -39,7 +39,7 @@ func parseFixture(t *testing.T, logical, disk string, reg *Registry) *File {
 	return f
 }
 
-var wantRE = regexp.MustCompile(`// want (\w+)`)
+var wantRE = regexp.MustCompile(`// want ([\w-]+)`)
 
 // wantMarkers extracts the `// want <rule>` annotations of a fixture:
 // line number → expected rule names on that line, in order.
@@ -250,8 +250,8 @@ func TestLoadRegistry(t *testing.T) {
 // TestWriteJSONGolden pins the -json output format byte-for-byte.
 func TestWriteJSONGolden(t *testing.T) {
 	diags := []Diagnostic{
-		{File: "internal/service/service.go", Line: 42, Col: 2, Rule: "goguard", Message: "unguarded goroutine"},
-		{File: "cmd/merlin/main.go", Line: 130, Col: 14, Rule: "ctxonly", Message: "blocking flow entry point"},
+		{File: "internal/service/service.go", Package: "internal/service", Line: 42, Col: 2, Rule: "goguard", Message: "unguarded goroutine"},
+		{File: "cmd/merlin/main.go", Package: "cmd/merlin", Line: 130, Col: 14, Rule: "ctxonly", Message: "blocking flow entry point"},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, diags); err != nil {

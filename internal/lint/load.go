@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Module is one fully loaded Go module: every package parsed, type-checked
+// in dependency order against a single shared FileSet, and (lazily) a
+// conservative static call graph over all of it. Loading is the one
+// expensive step of a lint run; everything downstream — file rules, package
+// rules, the call graph — shares it.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path from go.mod (e.g. "merlin").
+	Path string
+	Fset *token.FileSet
+	// Packages is every package of the module in topological (dependency)
+	// order.
+	Packages []*Package
+	// Registry is the fault-site registry extracted from
+	// internal/faultinject; nil when the package does not exist.
+	Registry *Registry
+
+	byPath    map[string]*Package // import path → package
+	byFile    map[string]*File    // repo-relative path → file
+	importer  *moduleImporter     // shared source importer (stdlib cache)
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// Package is one typed package of the module.
+type Package struct {
+	Mod *Module
+	// ImportPath is the full import path ("merlin/internal/service").
+	ImportPath string
+	// Rel is the module-relative package path ("internal/service", "" for
+	// the module root package).
+	Rel string
+	// Dir is the absolute package directory.
+	Dir string
+	// Files are all parsed files of the directory, test files included.
+	// Only non-test files carry type information (test files are still
+	// linted by the syntactic file rules).
+	Files []*File
+	// Types and Info are the go/types results over the non-test files.
+	Types *types.Package
+	Info  *types.Info
+
+	deps []string // module-internal import paths
+
+	// graphOverride carries the call graph for virtual (fixture) packages
+	// type-checked against the module; nil for real packages, which share
+	// Module.Graph().
+	graphOverride *CallGraph
+}
+
+// Graph returns the call graph the package's rules should consult: the
+// module-wide graph, or the extended graph of a virtual fixture package.
+func (p *Package) Graph() *CallGraph {
+	if p.graphOverride != nil {
+		return p.graphOverride
+	}
+	return p.Mod.Graph()
+}
+
+// skipDirs are never descended into during a module walk.
+var skipDirs = map[string]bool{
+	".git":         true,
+	"testdata":     true,
+	"vendor":       true,
+	"node_modules": true,
+}
+
+// modulePath extracts the module path from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+}
+
+// newInfo allocates the types.Info maps the rules consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// LoadModule parses and type-checks the whole module under root. It is the
+// shared front end of a lint run: one FileSet, one parse per file, one
+// type-check per package (stdlib source importer, so the load is hermetic —
+// no compiled export data, no network). Build constraints are honored with
+// the default tag set, so the merlin_invariants assertion layer stays out
+// of the typed view exactly as it stays out of production builds.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := LoadRegistry(filepath.Join(root, "internal", "faultinject"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: loading fault-site registry: %w", err)
+	}
+	m := &Module{
+		Root:     root,
+		Path:     modPath,
+		Fset:     token.NewFileSet(),
+		Registry: reg,
+		byPath:   map[string]*Package{},
+		byFile:   map[string]*File{},
+	}
+	m.importer = &moduleImporter{m: m, src: importer.ForCompiler(m.Fset, "source", nil).(types.ImporterFrom)}
+	if err := m.discover(); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// discover walks the module tree, parses every .go file that the default
+// build context would compile, and groups files into packages.
+func (m *Module) discover() error {
+	var dirs []string
+	err := filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if skipDirs[d.Name()] || (strings.HasPrefix(d.Name(), ".") && path != m.Root) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		var files []*File
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") {
+				continue
+			}
+			// MatchFile applies //go:build constraints under the default
+			// tag set (no merlin_invariants), mirroring `go build`.
+			if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+				continue
+			}
+			rel, err := filepath.Rel(m.Root, filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			rel = filepath.ToSlash(rel)
+			f, err := ParseFile(m.Fset, rel, filepath.Join(dir, name), nil)
+			if err != nil {
+				return fmt.Errorf("lint: %w", err)
+			}
+			f.Registry = m.Registry
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		relDir, err := filepath.Rel(m.Root, dir)
+		if err != nil {
+			return err
+		}
+		relDir = filepath.ToSlash(relDir)
+		if relDir == "." {
+			relDir = ""
+		}
+		ip := m.Path
+		if relDir != "" {
+			ip = m.Path + "/" + relDir
+		}
+		p := &Package{Mod: m, ImportPath: ip, Rel: relDir, Dir: dir, Files: files}
+		for _, f := range files {
+			f.Pkg = p
+			f.PkgRel = relDir
+			m.byFile[f.Path] = f
+			if f.Test {
+				continue
+			}
+			for _, imp := range f.AST.Imports {
+				v, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if v == m.Path || strings.HasPrefix(v, m.Path+"/") {
+					p.deps = append(p.deps, v)
+				}
+			}
+		}
+		m.byPath[ip] = p
+	}
+
+	// Topological order over module-internal imports, stable across runs.
+	var order []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var cycleErr error
+	var visit func(ip string)
+	visit = func(ip string) {
+		p, ok := m.byPath[ip]
+		if !ok || state[ip] == 2 {
+			return
+		}
+		if state[ip] == 1 {
+			if cycleErr == nil {
+				cycleErr = fmt.Errorf("lint: import cycle through %s", ip)
+			}
+			return
+		}
+		state[ip] = 1
+		deps := append([]string(nil), p.deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			visit(d)
+		}
+		state[ip] = 2
+		order = append(order, p)
+	}
+	var all []string
+	for ip := range m.byPath {
+		all = append(all, ip)
+	}
+	sort.Strings(all)
+	for _, ip := range all {
+		visit(ip)
+	}
+	if cycleErr != nil {
+		return cycleErr
+	}
+	m.Packages = order
+	return nil
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// package set and everything else (the stdlib) through the source importer.
+type moduleImporter struct {
+	m   *Module
+	src types.ImporterFrom
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	return mi.ImportFrom(path, "", 0)
+}
+
+func (mi *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := mi.m.byPath[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: module package %s not yet type-checked (import order bug)", path)
+		}
+		return p.Types, nil
+	}
+	return mi.src.ImportFrom(path, dir, mode)
+}
+
+// typeCheck checks every package in dependency order with one shared
+// importer, collecting every error instead of stopping at the first.
+func (m *Module) typeCheck() error {
+	var errs []string
+	for _, p := range m.Packages {
+		var files []*ast.File
+		for _, f := range p.Files {
+			if !f.Test {
+				files = append(files, f.AST)
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		conf := types.Config{
+			Importer: m.importer,
+			Error: func(err error) {
+				if len(errs) < 20 {
+					errs = append(errs, err.Error())
+				}
+			},
+		}
+		info := newInfo()
+		tpkg, err := conf.Check(p.ImportPath, m.Fset, files, info)
+		if err != nil && len(errs) == 0 {
+			errs = append(errs, err.Error())
+		}
+		p.Types = tpkg
+		p.Info = info
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("lint: type errors (the module must compile before it can be linted):\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Graph returns the module-wide conservative static call graph, built once
+// on first use.
+func (m *Module) Graph() *CallGraph {
+	m.graphOnce.Do(func() {
+		m.graph = buildCallGraph(m.Packages)
+	})
+	return m.graph
+}
+
+// fileByPath returns the loaded file at the repo-relative path, or nil.
+func (m *Module) fileByPath(path string) *File {
+	return m.byFile[path]
+}
+
+// Allows returns every //lint:allow suppression in the module, sorted by
+// file and line.
+func (m *Module) Allows() []Allow {
+	var out []Allow
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			out = append(out, f.Allows...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// CheckVirtual type-checks the given pre-parsed files as a virtual package
+// at the module-relative package path rel — resolving imports against the
+// real module and the stdlib — and returns the typed package with a call
+// graph extended to include it. It exists for fixture tests of the typed
+// package rules: the fixture pretends to live inside the module without
+// being written into it.
+func (m *Module) CheckVirtual(rel string, files []*File) (*Package, error) {
+	ip := m.Path
+	if rel != "" {
+		ip = m.Path + "/" + rel
+	}
+	p := &Package{Mod: m, ImportPath: ip, Rel: rel, Files: files}
+	var asts []*ast.File
+	for _, f := range files {
+		f.Pkg = p
+		f.PkgRel = rel
+		f.Registry = m.Registry
+		if !f.Test {
+			asts = append(asts, f.AST)
+		}
+	}
+	conf := types.Config{Importer: m.importer}
+	info := newInfo()
+	tpkg, err := conf.Check(ip, m.Fset, asts, info)
+	if err != nil {
+		return nil, err
+	}
+	p.Types = tpkg
+	p.Info = info
+	p.graphOverride = buildCallGraph(append(append([]*Package{}, m.Packages...), p))
+	return p, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod; it anchors repo-relative paths when merlinlint is invoked from a
+// subdirectory.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

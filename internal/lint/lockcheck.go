@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockcheck enforces mutex discipline with type information, module-wide:
+//
+//  1. Release on every path: a call the type checker resolved to
+//     (*sync.Mutex).Lock / (*sync.RWMutex).Lock / RLock opens an
+//     obligation keyed by the receiver expression and lock mode; the
+//     matching Unlock/RUnlock — inline or deferred — closes it. The
+//     pathflow analysis reports any return, fall-off-the-end, or loop
+//     iteration that leaves the obligation open. Deliberate crash paths
+//     (panic, os.Exit, log.Fatal) are exempt — a dying process does not
+//     leak a lock anyone will wait on.
+//
+//  2. No lock copied by value: a receiver or parameter whose (non-pointer)
+//     type transitively contains a sync.Mutex or sync.RWMutex copies the
+//     lock state on every call, silently splitting one critical section
+//     into two. `go vet`'s copylocks catches call sites; this half catches
+//     the declarations that make those call sites possible.
+//
+// Being type-resolved, the rule cannot be fooled by an unrelated method
+// named Lock, and it sees locking through embedded mutexes (s.Lock() on a
+// struct embedding sync.Mutex). It cannot see a lock released by a helper
+// the lock was not passed to, or released on a branch structure the block
+// join is too coarse for — //lint:allow lockcheck -- <why> is the
+// documented escape hatch there. Test files are exempt.
+var lockcheckRule = &Rule{
+	Name:         "lockcheck",
+	Doc:          "every mutex Lock is released on all paths; no lock-containing struct passed by value",
+	PackageCheck: checkLocks,
+}
+
+// lockMethods maps the fully-qualified mutex methods to (mode, effect).
+var lockMethods = map[string]struct {
+	mode string
+	op   flowOp
+}{
+	"(*sync.Mutex).Lock":      {"", flowOpen},
+	"(*sync.Mutex).Unlock":    {"", flowClose},
+	"(*sync.RWMutex).Lock":    {"", flowOpen},
+	"(*sync.RWMutex).Unlock":  {"", flowClose},
+	"(*sync.RWMutex).RLock":   {"r", flowOpen},
+	"(*sync.RWMutex).RUnlock": {"r", flowClose},
+}
+
+func checkLocks(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		classify := func(call *ast.CallExpr) (string, flowOp) {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return "", flowNone
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return "", flowNone
+			}
+			m, ok := lockMethods[fn.FullName()]
+			if !ok {
+				return "", flowNone
+			}
+			return m.mode + ":" + types.ExprString(sel.X), m.op
+		}
+		for _, body := range funcBodies(f.AST) {
+			for _, leak := range analyzeFlow(body, classify) {
+				mode, recv, _ := strings.Cut(leak.Key, ":")
+				what := "Lock"
+				if mode == "r" {
+					what = "RLock"
+				}
+				out = append(out, f.diag(leak.OpenPos, "lockcheck",
+					"%s.%s is not released on every path (%s at line %d escapes with it held): defer the unlock or release it before the exit",
+					recv, what, leak.Exit, f.Fset.Position(leak.ExitPos).Line))
+			}
+		}
+		out = append(out, checkLockCopies(p, f)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// checkLockCopies flags by-value receivers and parameters of
+// lock-containing types.
+func checkLockCopies(p *Package, f *File) []Diagnostic {
+	var out []Diagnostic
+	for _, decl := range f.AST.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if r := sig.Recv(); r != nil && containsLock(r.Type()) {
+			out = append(out, f.diag(fd.Name.Pos(), "lockcheck",
+				"method %s has a by-value receiver of lock-containing type %s: every call copies the mutex state; use a pointer receiver",
+				fd.Name.Name, types.TypeString(r.Type(), types.RelativeTo(p.Types))))
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			prm := sig.Params().At(i)
+			if containsLock(prm.Type()) {
+				out = append(out, f.diag(prm.Pos(), "lockcheck",
+					"parameter %s passes lock-containing type %s by value: the callee locks a private copy; pass a pointer",
+					prm.Name(), types.TypeString(prm.Type(), types.RelativeTo(p.Types))))
+			}
+		}
+	}
+	return out
+}
+
+// containsLock reports whether t, held by value, transitively contains a
+// sync.Mutex or sync.RWMutex.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if s := u.String(); s == "sync.Mutex" || s == "sync.RWMutex" {
+			return true
+		}
+		return containsLockSeen(u.Underlying(), seen)
+	case *types.Alias:
+		return containsLockSeen(types.Unalias(t), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockSeen(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(u.Elem(), seen)
+	}
+	return false
+}

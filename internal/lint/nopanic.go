@@ -23,8 +23,8 @@ import (
 var nopanicRule = &Rule{
 	Name: "nopanic",
 	Doc:  "no panic() in internal/core and internal/curve outside recover-guarded functions",
-	Applies: func(path string) bool {
-		return !isTestFile(path) && underAny(path, "internal/core", "internal/curve")
+	Applies: func(f *File) bool {
+		return !f.Test && pkgWithin(f.PkgRel, "internal/core", "internal/curve")
 	},
 	Check: checkNoPanic,
 }

@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// pathflow is a small structural abstract interpretation used by the
+// resource-pairing rules (lockcheck, spanleak): a rule classifies calls as
+// opening or closing a keyed resource, and the analysis walks one function
+// body reporting every exit reached while a resource is still open.
+//
+// The walk is over block structure, not a real CFG, with conservative
+// joins:
+//
+//   - Sequential statements thread one state.
+//   - if / switch / select branches run on copies; after the statement a
+//     resource is open if it is open on any branch that can fall through.
+//   - A loop body runs on a copy; a resource opened inside the body and
+//     still open at the body's end is reported (the next iteration would
+//     re-open it), and the state after the loop is the state before it
+//     (the body may run zero times).
+//   - return reports all open resources. panic, os.Exit, log.Fatal*,
+//     runtime.Goexit and testing Fatal* terminate a path without a report:
+//     the deliberate crash paths are not leaks worth fencing.
+//   - A defer of a closing call (or of a literal containing one) closes
+//     the resource for every subsequent exit.
+//   - Function literals that are not invoked in place are skipped: code
+//     with an unknown execution context can neither open nor close a
+//     resource on this path. break/continue/goto are not modeled.
+//
+// The result errs toward reporting: a close that only happens on one arm
+// of a branch does not count for the join. The //lint:allow escape hatch
+// covers the cases where the join is too coarse.
+
+// flowOp classifies a call's effect on a resource.
+type flowOp int
+
+const (
+	flowNone flowOp = iota
+	flowOpen
+	flowClose
+)
+
+// flowClassifier maps a call expression to a resource event. Calls are
+// classified in source order within straight-line code.
+type flowClassifier func(call *ast.CallExpr) (key string, op flowOp)
+
+// flowLeak is one resource open at an exit.
+type flowLeak struct {
+	Key     string
+	OpenPos token.Pos
+	ExitPos token.Pos
+	Exit    string // "return", "function end", "next loop iteration"
+}
+
+type flowState map[string]token.Pos // open resources → opening position
+
+func (s flowState) clone() flowState {
+	c := make(flowState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type flowAnalysis struct {
+	classify flowClassifier
+	leaks    []flowLeak
+	reported map[string]bool
+}
+
+// analyzeFlow runs the analysis over one function body.
+func analyzeFlow(body *ast.BlockStmt, classify flowClassifier) []flowLeak {
+	a := &flowAnalysis{classify: classify, reported: map[string]bool{}}
+	st := flowState{}
+	terminated := a.block(body.List, st)
+	if !terminated {
+		a.reportAll(st, body.End(), "function end")
+	}
+	return a.leaks
+}
+
+func (a *flowAnalysis) report(key string, open, exit token.Pos, kind string) {
+	if a.reported[key] {
+		return
+	}
+	a.reported[key] = true
+	a.leaks = append(a.leaks, flowLeak{Key: key, OpenPos: open, ExitPos: exit, Exit: kind})
+}
+
+func (a *flowAnalysis) reportAll(st flowState, exit token.Pos, kind string) {
+	for k, open := range st {
+		a.report(k, open, exit, kind)
+	}
+}
+
+// scan applies the classifier to every call in an expression (or simple
+// statement), in traversal order, skipping function literals.
+func (a *flowAnalysis) scan(n ast.Node, st flowState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch v := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if key, op := a.classify(v); op != flowNone {
+				switch op {
+				case flowOpen:
+					if !a.reported[key] {
+						st[key] = v.Pos()
+					}
+				case flowClose:
+					delete(st, key)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// terminatorCall reports whether the expression statement is a call that
+// ends the goroutine or process: panic, os.Exit, log.Fatal*,
+// runtime.Goexit, or a testing Fatal*/Skip* method.
+func terminatorCall(s *ast.ExprStmt) bool {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if recv, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case recv.Name == "os" && name == "Exit":
+				return true
+			case recv.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+				return true
+			case recv.Name == "runtime" && name == "Goexit":
+				return true
+			}
+		}
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "SkipNow", "Skipf", "Skip":
+			return true
+		}
+	}
+	return false
+}
+
+// deferredCloses collects the keys a defer statement closes: a deferred
+// closing call, or a deferred literal whose body contains one.
+func (a *flowAnalysis) deferredCloses(d *ast.DeferStmt, st flowState) {
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if key, op := a.classify(call); op == flowClose {
+					delete(st, key)
+				}
+			}
+			return true
+		})
+		return
+	}
+	if key, op := a.classify(d.Call); op == flowClose {
+		delete(st, key)
+	}
+}
+
+// block walks a statement list with the given state and reports whether
+// every path through it terminates (returns or crashes).
+func (a *flowAnalysis) block(list []ast.Stmt, st flowState) (terminated bool) {
+	for _, s := range list {
+		if a.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement; true means the path terminates here.
+func (a *flowAnalysis) stmt(s ast.Stmt, st flowState) bool {
+	switch v := s.(type) {
+	case *ast.ExprStmt:
+		a.scan(v.X, st)
+		if terminatorCall(v) {
+			return true
+		}
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			a.scan(r, st)
+		}
+		for _, l := range v.Lhs {
+			a.scan(l, st)
+		}
+	case *ast.DeclStmt:
+		a.scan(v, st)
+	case *ast.SendStmt:
+		a.scan(v.Value, st)
+		a.scan(v.Chan, st)
+	case *ast.IncDecStmt:
+		a.scan(v.X, st)
+	case *ast.DeferStmt:
+		a.deferredCloses(v, st)
+		for _, arg := range v.Call.Args {
+			a.scan(arg, st)
+		}
+	case *ast.GoStmt:
+		// Launched code runs elsewhere; only argument evaluation is local.
+		for _, arg := range v.Call.Args {
+			a.scan(arg, st)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			a.scan(r, st)
+		}
+		a.reportAll(st, v.Pos(), "return")
+		return true
+	case *ast.BlockStmt:
+		return a.block(v.List, st)
+	case *ast.LabeledStmt:
+		return a.stmt(v.Stmt, st)
+	case *ast.IfStmt:
+		return a.ifStmt(v, st)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			a.stmt(v.Init, st)
+		}
+		a.scan(v.Cond, st)
+		body := st.clone()
+		a.block(v.Body.List, body)
+		if v.Post != nil {
+			a.stmt(v.Post, body)
+		}
+		a.loopEndCheck(st, body, v.Body.End())
+		// An infinite loop with no break never falls through.
+		return v.Cond == nil && !hasBreak(v.Body)
+	case *ast.RangeStmt:
+		a.scan(v.X, st)
+		body := st.clone()
+		a.block(v.Body.List, body)
+		a.loopEndCheck(st, body, v.Body.End())
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			a.stmt(v.Init, st)
+		}
+		a.scan(v.Tag, st)
+		return a.branches(caseBodies(v.Body), hasDefaultClause(v.Body), st)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			a.stmt(v.Init, st)
+		}
+		a.scan(v.Assign, st)
+		return a.branches(caseBodies(v.Body), hasDefaultClause(v.Body), st)
+	case *ast.SelectStmt:
+		// A select (without default) always executes exactly one branch.
+		return a.branches(caseBodies(v.Body), true, st)
+	}
+	return false
+}
+
+// ifStmt handles if/else chains with a conservative join.
+func (a *flowAnalysis) ifStmt(v *ast.IfStmt, st flowState) bool {
+	if v.Init != nil {
+		a.stmt(v.Init, st)
+	}
+	a.scan(v.Cond, st)
+	thenSt := st.clone()
+	thenTerm := a.block(v.Body.List, thenSt)
+	elseSt := st.clone()
+	elseTerm := false
+	if v.Else != nil {
+		elseTerm = a.stmt(v.Else, elseSt)
+	}
+	switch {
+	case thenTerm && elseTerm:
+		return true
+	case thenTerm:
+		replace(st, elseSt)
+	case elseTerm:
+		replace(st, thenSt)
+	default:
+		replace(st, union(thenSt, elseSt))
+	}
+	return false
+}
+
+// branches joins the case bodies of a switch/select. exhaustive means one
+// branch always executes (a switch with a default clause, or any select):
+// only then can the statement as a whole terminate, and only then does the
+// zero-case fall-through path disappear from the join.
+func (a *flowAnalysis) branches(bodies [][]ast.Stmt, exhaustive bool, st flowState) bool {
+	if len(bodies) == 0 {
+		return false
+	}
+	allTerm := true
+	var fallthroughs []flowState
+	for _, b := range bodies {
+		bs := st.clone()
+		if a.block(b, bs) {
+			continue
+		}
+		allTerm = false
+		fallthroughs = append(fallthroughs, bs)
+	}
+	if allTerm && exhaustive {
+		return true
+	}
+	joined := st.clone() // non-exhaustive: the zero-case path keeps the entry state
+	if exhaustive {
+		joined = flowState{}
+	}
+	for _, bs := range fallthroughs {
+		joined = union(joined, bs)
+	}
+	replace(st, joined)
+	return false
+}
+
+// loopEndCheck reports resources opened inside a loop body and still open
+// when the body ends: the next iteration would open them again.
+func (a *flowAnalysis) loopEndCheck(before, after flowState, end token.Pos) {
+	for k, open := range after {
+		if _, ok := before[k]; !ok {
+			a.report(k, open, end, "next loop iteration")
+		}
+	}
+}
+
+func union(a, b flowState) flowState {
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func replace(dst, src flowState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, s := range body.List {
+		switch c := s.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			// The comm statement itself is part of the branch.
+			var b []ast.Stmt
+			if c.Comm != nil {
+				b = append(b, c.Comm)
+			}
+			out = append(out, append(b, c.Body...))
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if c, ok := s.(*ast.CaseClause); ok && c.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBreak reports a break statement belonging to the enclosing loop
+// (nested loops and switches consume their own breaks).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node, inNested bool)
+	walk = func(n ast.Node, inNested bool) {
+		if n == nil || found {
+			return
+		}
+		switch v := n.(type) {
+		case *ast.BranchStmt:
+			if v.Tok == token.BREAK && (!inNested || v.Label != nil) {
+				found = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			inNested = true
+		case *ast.FuncLit:
+			return
+		}
+		for _, c := range childNodes(n) {
+			walk(c, inNested)
+		}
+	}
+	for _, s := range body.List {
+		walk(s, false)
+	}
+	return found
+}
+
+// funcBodies returns every function body in the file — declarations and
+// literals — each paired with the position its diagnostics anchor to.
+// Literal bodies are analyzed as functions in their own right, with deeper
+// literals excluded by the scanners.
+func funcBodies(af *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(af, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncDecl:
+			if v.Body != nil {
+				out = append(out, v.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, v.Body)
+		}
+		return true
+	})
+	return out
+}

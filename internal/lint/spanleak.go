@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanleak pairs every trace-span creation with its End on all paths. A span
+// without End never records a duration, never decrements the collector's
+// open-span accounting, and silently truncates the trace it belongs to — the
+// request looks like it vanished mid-flight.
+//
+// The rule is type-resolved: it recognises the three creation points by
+// their fully-qualified names (trace.StartSpan, (*trace.Collector).Start,
+// trace.NewTrace) and the closing call by (*trace.Span).End, so renamed
+// imports and unrelated End methods cannot confuse it. Per creation site:
+//
+//   - span assigned to the blank identifier: flagged outright — End can
+//     never be called.
+//   - span variable that escapes the function (passed to a call, stored in
+//     a composite literal or field, returned): exempt; ownership of End
+//     moved with it, and the single-function path analysis cannot follow.
+//   - otherwise: the pathflow analysis requires <span>.End() — inline or
+//     deferred — on every return, fall-off-the-end, and loop iteration.
+//     Crash paths (panic, os.Exit, log.Fatal) are exempt.
+//
+// internal/trace itself (the implementation) and test files are out of
+// scope.
+var spanleakRule = &Rule{
+	Name:         "spanleak",
+	Doc:          "every trace span Start is paired with End on all paths",
+	PackageCheck: checkSpanLeaks,
+}
+
+// spanMakers maps span-creating functions to the index of the *Span in
+// their result tuple.
+var spanMakers = map[string]int{
+	"merlin/internal/trace.StartSpan":          1,
+	"(*merlin/internal/trace.Collector).Start": 2,
+	"merlin/internal/trace.NewTrace":           1,
+}
+
+const spanEndMethod = "(*merlin/internal/trace.Span).End"
+
+func checkSpanLeaks(p *Package) []Diagnostic {
+	if p.Rel == "internal/trace" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, body := range funcBodies(f.AST) {
+			out = append(out, checkSpanBody(p, f, body)...)
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// checkSpanBody analyzes one function body for span obligations.
+func checkSpanBody(p *Package, f *File, body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+
+	// Pass 1: find span creations assigned at statement level and bind each
+	// creating CallExpr to the variable object receiving the span. Nested
+	// function literals are skipped: funcBodies analyzes them separately.
+	opens := map[*ast.CallExpr]*types.Var{} // creation call -> span variable
+	tracked := map[*types.Var]token.Pos{}   // span variable -> creation pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n != body {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		idx, ok := spanMakers[fn.FullName()]
+		if !ok || idx >= len(as.Lhs) {
+			return true
+		}
+		id, ok := as.Lhs[idx].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			out = append(out, f.diag(call.Pos(), "spanleak",
+				"span from %s assigned to _: End can never be called and the span never closes; bind it and End it", fn.Name()))
+			return true
+		}
+		obj := spanVarObj(p.Info, id)
+		if obj == nil {
+			return true
+		}
+		opens[call] = obj
+		tracked[obj] = call.Pos()
+		return true
+	})
+	if len(tracked) == 0 {
+		return out
+	}
+
+	// Pass 2: escape analysis. A span variable used anywhere other than a
+	// method call on itself transfers End ownership out of this function.
+	for obj := range tracked {
+		if spanEscapes(p, body, obj, opens) {
+			delete(tracked, obj)
+		}
+	}
+	if len(tracked) == 0 {
+		return out
+	}
+
+	// Pass 3: path analysis over the remaining obligations.
+	classify := func(call *ast.CallExpr) (string, flowOp) {
+		if obj, ok := opens[call]; ok && tracked[obj] != token.NoPos {
+			return obj.Name(), flowOpen
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", flowNone
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return "", flowNone
+		}
+		obj, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || tracked[obj] == token.NoPos {
+			return "", flowNone
+		}
+		if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == spanEndMethod {
+			return obj.Name(), flowClose
+		}
+		return "", flowNone
+	}
+	for _, leak := range analyzeFlow(body, classify) {
+		out = append(out, f.diag(leak.OpenPos, "spanleak",
+			"span %s is not ended on every path (%s at line %d leaves it open): defer %s.End() or End it before the exit",
+			leak.Key, leak.Exit, f.Fset.Position(leak.ExitPos).Line, leak.Key))
+	}
+	return out
+}
+
+// spanVarObj resolves the ident on the LHS of an assignment to its variable
+// object, whether := defines it or = reuses it.
+func spanVarObj(info *types.Info, id *ast.Ident) *types.Var {
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	if obj, ok := info.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
+// spanEscapes reports whether the span variable is used in any position the
+// single-function path analysis cannot follow: passed to a call, stored in a
+// composite literal or field, returned, or captured by a non-deferred
+// function literal. A method call on the span itself (span.End, span.SetAttr)
+// outside a captured literal is the only non-escaping use.
+func spanEscapes(p *Package, body *ast.BlockStmt, obj *types.Var, opens map[*ast.CallExpr]*types.Var) bool {
+	// Ranges of function literals that pathflow cannot see into: every
+	// FuncLit except one that is itself the deferred call's function (those
+	// are handled by deferredCloses).
+	type posRange struct{ lo, hi token.Pos }
+	var opaque []posRange
+	markLits := func(n ast.Node) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if lit, ok := c.(*ast.FuncLit); ok {
+				opaque = append(opaque, posRange{lit.Pos(), lit.End()})
+				return false
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if _, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				// The deferred literal's own body is visible to pathflow's
+				// deferredCloses; only its arguments can hide literals.
+				for _, arg := range v.Call.Args {
+					markLits(arg)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			opaque = append(opaque, posRange{v.Pos(), v.End()})
+			return false
+		}
+		return true
+	})
+	inOpaque := func(pos token.Pos) bool {
+		for _, r := range opaque {
+			if r.lo <= pos && pos < r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	selfMethod := map[*ast.Ident]bool{} // idents appearing as sel.X of a method call on obj
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					selfMethod[id] = true
+				}
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != obj {
+			return true
+		}
+		if selfMethod[id] && !inOpaque(id.Pos()) {
+			return true
+		}
+		escaped = true
+		return false
+	})
+	return escaped
+}

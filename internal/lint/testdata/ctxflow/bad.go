@@ -1,0 +1,31 @@
+// Fixture: root contexts minted on the synchronous path of request
+// handling — directly in a handler and in a helper the handler reaches.
+package service
+
+import (
+	"context"
+	"net/http"
+)
+
+func handleThing(w http.ResponseWriter, r *http.Request) {
+	doWork(r.Context())
+	refresh()
+}
+
+// refresh is synchronously reachable from handleThing: its fresh root
+// context severs the request's cancellation chain.
+func refresh() {
+	ctx := context.Background() // want ctxflow
+	doWork(ctx)
+}
+
+func handleOther(w http.ResponseWriter, r *http.Request) {
+	doWork(context.TODO()) // want ctxflow
+}
+
+func doWork(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	default:
+	}
+}

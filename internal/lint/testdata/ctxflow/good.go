@@ -1,0 +1,28 @@
+// Fixture: request-scoped code threads the request's context; detached and
+// startup code may mint roots.
+package service
+
+import (
+	"context"
+	"net/http"
+)
+
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	process(r.Context())
+	go func() {
+		defer func() { recover() }()
+		// Detached by design: the goroutine boundary is where the request
+		// scope ends, and the graph does not cross it.
+		process(context.Background())
+	}()
+}
+
+func process(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// startupInit is not reachable from any handler: minting a root here is the
+// normal way to begin a process-lifetime context.
+func startupInit() {
+	process(context.Background())
+}

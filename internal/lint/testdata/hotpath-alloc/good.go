@@ -1,0 +1,29 @@
+// Fixture: allocation-free hot-loop idiom — capacity-hinted buffers,
+// reslicing, plain struct values — plus an unregistered function that is
+// free to allocate.
+package curve
+
+type pt struct{ x, y float64 }
+
+func hotClean(xs []float64, n int) float64 {
+	buf := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		buf = append(buf, float64(i)) // hinted: 3-index make above
+	}
+	out := xs[:0]
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) // hinted: reslice of xs's backing array
+		}
+	}
+	var a pt // struct value: stack-allocated
+	for _, x := range out {
+		a.x += x
+	}
+	return a.x + buf[0]
+}
+
+// coldHelper is not in the registry: the fence does not police it.
+func coldHelper() []int {
+	return []int{1, 2, 3}
+}

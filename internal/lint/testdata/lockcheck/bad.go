@@ -1,0 +1,46 @@
+// Fixture: mutexes leaked on an exit path and lock-containing types copied
+// by value.
+package service
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// incrEarlyReturn leaves the mutex held when stop is true.
+func (c *counter) incrEarlyReturn(stop bool) int {
+	c.mu.Lock() // want lockcheck
+	if stop {
+		return c.n
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// loopRelock re-locks every iteration without releasing the previous hold.
+func (c *counter) loopRelock(xs []int) {
+	for range xs {
+		c.mu.Lock() // want lockcheck
+		c.n++
+	}
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// lookup copies the RWMutex with every call through its value receiver.
+func (t table) lookup(k string) int { // want lockcheck
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// snapshot takes the lock-containing struct by value.
+func snapshot(t table) map[string]int { // want lockcheck
+	return t.m
+}

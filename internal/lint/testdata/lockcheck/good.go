@@ -1,0 +1,63 @@
+// Fixture: disciplined locking — deferred unlocks, per-branch releases,
+// crash-path exemption, and pointer passing of lock-containing types.
+package service
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) incr() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+func (c *counter) branches(skip bool) int {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return 0
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) crashPath(ok bool) {
+	c.mu.Lock()
+	if !ok {
+		panic("invariant: a dying process does not leak a lock")
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) perIteration(xs []int) {
+	for range xs {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// pointer parameters move the lock without copying it.
+func reset(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = nil
+}

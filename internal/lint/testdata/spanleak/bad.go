@@ -1,0 +1,36 @@
+// Fixture: trace spans that escape their function unended.
+package service
+
+import (
+	"context"
+
+	"merlin/internal/trace"
+)
+
+var errFailed error
+
+// leakyReturn skips End on the early-return path.
+func leakyReturn(ctx context.Context, fail bool) error {
+	ctx, sp := trace.StartSpan(ctx, "work") // want spanleak
+	if fail {
+		return errFailed
+	}
+	use(ctx)
+	sp.End()
+	return nil
+}
+
+// discarded can never be ended at all.
+func discarded(ctx context.Context) {
+	_, _ = trace.StartSpan(ctx, "dropped") // want spanleak
+}
+
+// loopLeak opens a fresh span every iteration and ends none of them.
+func loopLeak(ctx context.Context, names []string) {
+	for _, n := range names {
+		_, sp := trace.StartSpan(ctx, n) // want spanleak
+		sp.SetAttr("name", n)
+	}
+}
+
+func use(context.Context) {}

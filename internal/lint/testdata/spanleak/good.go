@@ -1,0 +1,45 @@
+// Fixture: spans ended on every path — deferred, per-branch, through the
+// collector pair, or with End ownership handed off.
+package service
+
+import (
+	"context"
+
+	"merlin/internal/trace"
+)
+
+func deferred(ctx context.Context) {
+	ctx, sp := trace.StartSpan(ctx, "work")
+	defer sp.End()
+	use(ctx)
+}
+
+func allPaths(ctx context.Context, fail bool) error {
+	_, sp := trace.StartSpan(ctx, "work")
+	if fail {
+		sp.End()
+		return nil
+	}
+	sp.SetAttr("ok", "true")
+	sp.End()
+	return nil
+}
+
+// collected pairs the collector's Start with its Finish; the root span is
+// passed to Finish, which takes over ending it.
+func collected(c *trace.Collector) {
+	ctx, tr, root := c.Start(context.Background(), "batch")
+	use(ctx)
+	c.Finish(tr, root)
+}
+
+// handoff transfers End ownership: the span escapes into the returned
+// struct, whose owner is responsible for ending it.
+type job struct{ sp *trace.Span }
+
+func handoff(ctx context.Context) *job {
+	_, sp := trace.StartSpan(ctx, "job")
+	return &job{sp: sp}
+}
+
+func use(context.Context) {}

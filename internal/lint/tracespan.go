@@ -32,8 +32,8 @@ import (
 var tracespanRule = &Rule{
 	Name: "tracespan",
 	Doc:  "request timing and span construction in internal/service only via internal/trace helpers",
-	Applies: func(path string) bool {
-		return !isTestFile(path) && underAny(path, "internal/service")
+	Applies: func(f *File) bool {
+		return !f.Test && pkgWithin(f.PkgRel, "internal/service")
 	},
 	Check: checkTraceSpan,
 }
