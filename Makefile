@@ -1,16 +1,17 @@
 # Tier-1 verify is: make build test lint race chaos fuzz invariants crash
-# cluster-chaos (build + full test suite, static analysis — go vet then the
-# project's own merlinlint rule suite — the race detector over the concurrent
-# packages, the fault-injection chaos storm, short runs of the fuzz targets,
-# the DP packages rebuilt and retested with the merlin_invariants assertion
-# layer, the SIGKILL crash-recovery drill over the durable-jobs journal, and
-# the router kill/restart cluster drill).
+# cluster-chaos partition-chaos (build + full test suite, static analysis —
+# go vet then the project's own merlinlint rule suite — the race detector over
+# the concurrent packages, the fault-injection chaos storm, short runs of the
+# fuzz targets, the DP packages rebuilt and retested with the merlin_invariants
+# assertion layer, the SIGKILL crash-recovery drill over the durable-jobs
+# journal, the router kill/restart cluster drill, and the gossip/replication
+# partition drill over a 5-node fleet).
 
 GO ?= go
 # How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint invariants chaos fuzz crash cluster-chaos verify bench bench-tables
+.PHONY: all build test race vet lint invariants chaos fuzz crash cluster-chaos partition-chaos verify bench bench-tables
 
 all: build
 
@@ -25,10 +26,11 @@ test:
 # the degradation ladder, and the core engine's one-engine-per-goroutine
 # contract. Full-repo -race is accurate too but slow; these packages are
 # where concurrency actually lives. TestChaos* is skipped here because the
-# chaos target runs the storms on their own, and TestClusterChaos because the
-# cluster-chaos target runs the kill/restart drill on its own.
+# chaos target runs the storms on their own, and TestClusterChaos /
+# TestPartitionChaos because the cluster-chaos and partition-chaos targets
+# run those drills on their own.
 race:
-	$(GO) test -race -skip 'TestChaos|TestCrashRecovery|TestClusterChaos' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./internal/router/... ./internal/qos/... ./pkg/client/... ./cmd/merlind/... ./cmd/merlintop/...
+	$(GO) test -race -skip 'TestChaos|TestCrashRecovery|TestClusterChaos|TestPartitionChaos' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./internal/router/... ./internal/qos/... ./internal/gossip/... ./pkg/client/... ./cmd/merlind/... ./cmd/merlintop/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
 
 # The fault-injection storms: 240 concurrent good/bad/huge/degradable
@@ -68,6 +70,17 @@ crash:
 cluster-chaos:
 	$(GO) test -race -run 'TestClusterChaos$$' ./internal/router/
 
+# The gossip/replication partition drill: two routers and three gossiping,
+# replicating durable backends under multi-tenant load while one backend is
+# partitioned (unreachable to everyone, journal intact) and another is
+# SIGKILLed. Both routers' gossip views must converge on each failure within
+# 2s, the fleet brownout must raise and recover on both (observed via
+# /v1/stats), every response must stay truthful, and every acknowledged job
+# must complete — jobs owned by the partitioned backend served from replicas.
+# Run under the race detector; see internal/router/partition_chaos_test.go.
+partition-chaos:
+	$(GO) test -race -run 'TestPartitionChaos$$' ./internal/router/
+
 vet:
 	$(GO) vet ./...
 
@@ -95,7 +108,7 @@ lint: vet
 invariants:
 	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/... ./internal/degrade/... ./internal/journal/...
 
-verify: build test lint race chaos fuzz invariants crash cluster-chaos
+verify: build test lint race chaos fuzz invariants crash cluster-chaos partition-chaos
 
 # The performance baseline: merlinbench runs the fixed benchmark set (core
 # construct, trace span price disabled/enabled, service batch with tracing
@@ -105,7 +118,7 @@ verify: build test lint race chaos fuzz invariants crash cluster-chaos
 # a full merlinlint pass — so the lint budget's headroom is tracked alongside
 # the runtime numbers. Committed baselines make later "faster" claims a file
 # diff; BENCH_N is the PR number the baseline belongs to.
-BENCH_N ?= 8
+BENCH_N ?= 9
 bench:
 	$(GO) run ./cmd/merlinbench -out BENCH_$(BENCH_N).json
 	@cat BENCH_$(BENCH_N).json

@@ -24,6 +24,13 @@
 //   - load_profile — a fixed mixed load (cached + uncached routes at fixed
 //     concurrency) through a live server, reporting exact client-observed
 //     p50/p90/p99/max latency from the sorted samples.
+//   - gossip — a 4-node star-seeded gossip mesh over real HTTP: how long the
+//     views take to converge on full mutual health, and how long the
+//     survivors take to declare a silently killed node dead (the
+//     suspicion-before-eviction path end to end).
+//   - replica_warm — peer-warming a result from a replica over the wire
+//     (HTTP fetch + MRS1 checksum verify) vs recomputing it from scratch:
+//     the latency gap that makes replicated result stores worth running.
 //   - lint_wall_ms — the wall time of one full merlinlint pass (whole-module
 //     type-check plus every rule), so the `make lint` 30s budget's headroom
 //     is tracked next to the runtime numbers.
@@ -51,6 +58,8 @@ import (
 	"merlin/internal/core"
 	"merlin/internal/flows"
 	"merlin/internal/geom"
+	"merlin/internal/gossip"
+	"merlin/internal/journal"
 	"merlin/internal/lint"
 	"merlin/internal/net"
 	"merlin/internal/qos"
@@ -95,6 +104,25 @@ type routerHopResult struct {
 	OverheadP99MS float64 `json:"overhead_p99_ms"`
 }
 
+// gossipBenchResult times the anti-entropy layer over real HTTP: a
+// star-seeded mesh converging on full mutual health, then the survivors
+// declaring a silently killed node dead (suspect → dead, disseminated).
+type gossipBenchResult struct {
+	Nodes          int     `json:"nodes"`
+	IntervalMS     int64   `json:"interval_ms"`
+	MeshConvergeMS float64 `json:"mesh_converge_ms"`
+	DeathDetectMS  float64 `json:"death_detect_ms"`
+}
+
+// replicaBenchResult compares serving a lost result from a replica (HTTP
+// fetch + MRS1 verify) against recomputing it: the availability win of the
+// replicated store in milliseconds.
+type replicaBenchResult struct {
+	Samples        int     `json:"samples"`
+	PeerWarmP50MS  float64 `json:"peer_warm_p50_ms"`
+	RecomputeP50MS float64 `json:"recompute_p50_ms"`
+}
+
 type output struct {
 	Schema           string                 `json:"schema"`
 	GoVersion        string                 `json:"go_version"`
@@ -105,6 +133,8 @@ type output struct {
 	TraceOverheadPct float64                `json:"trace_overhead_pct"`
 	LoadProfile      loadResult             `json:"load_profile"`
 	RouterHop        routerHopResult        `json:"router_hop"`
+	Gossip           gossipBenchResult      `json:"gossip"`
+	ReplicaWarm      replicaBenchResult     `json:"replica_warm"`
 	LintWallMS       int64                  `json:"lint_wall_ms"`
 }
 
@@ -270,6 +300,18 @@ func run(outPath string, quick bool) error {
 	}
 	doc.RouterHop = hop
 
+	gsp, err := runGossipConvergence()
+	if err != nil {
+		return err
+	}
+	doc.Gossip = gsp
+
+	rw, err := runReplicaWarm(quick)
+	if err != nil {
+		return err
+	}
+	doc.ReplicaWarm = rw
+
 	lintMS, err := runLintPass()
 	if err != nil {
 		return err
@@ -305,6 +347,193 @@ func runLintPass() (int64, error) {
 		return 0, fmt.Errorf("repo not lint-clean (%d findings); fix before baselining", len(diags))
 	}
 	return time.Since(start).Milliseconds(), nil
+}
+
+// runGossipConvergence boots a 4-node gossip mesh over real HTTP (25ms
+// ticks, star-seeded off the first node so convergence requires actual
+// dissemination, not just seed exchange), times full mutual-health
+// convergence, then closes one node's server and stops its loop — silence —
+// and times how long every survivor takes to walk it through suspicion to
+// Dead. Both numbers are wall-clock as a fleet operator would see them.
+func runGossipConvergence() (gossipBenchResult, error) {
+	const nodes = 4
+	interval := 25 * time.Millisecond
+	type member struct {
+		n   *gossip.Node
+		srv *httptest.Server
+	}
+	ms := make([]*member, 0, nodes)
+	defer func() {
+		for _, m := range ms {
+			m.n.Stop()
+			m.srv.Close()
+		}
+	}()
+	var first string
+	for i := 0; i < nodes; i++ {
+		mux := http.NewServeMux()
+		srv := httptest.NewServer(mux)
+		var peers []string
+		if first != "" {
+			peers = []string{first}
+		}
+		n, err := gossip.New(gossip.Config{
+			Self: srv.URL, Role: gossip.RoleBackend, Peers: peers,
+			Interval:  interval,
+			Transport: gossip.HTTPTransport(&http.Client{Timeout: time.Second}),
+		})
+		if err != nil {
+			srv.Close()
+			return gossipBenchResult{}, err
+		}
+		mux.HandleFunc("POST "+gossip.GossipPath, gossip.Handler(n))
+		n.SetLocal(true, "", 0.5, 0, uint64(i))
+		if first == "" {
+			first = srv.URL
+		}
+		ms = append(ms, &member{n: n, srv: srv})
+	}
+
+	res := gossipBenchResult{Nodes: nodes, IntervalMS: interval.Milliseconds()}
+	for _, m := range ms {
+		m.n.Start()
+	}
+	wait := func(what string, pred func() bool) (float64, error) {
+		deadline := time.Now().Add(15 * time.Second)
+		t0 := time.Now()
+		for !pred() {
+			if time.Now().After(deadline) {
+				return 0, fmt.Errorf("gossip bench: %s never happened", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return float64(time.Since(t0).Microseconds()) / 1000, nil
+	}
+	mesh, err := wait("mesh convergence", func() bool {
+		for i, m := range ms {
+			for j, o := range ms {
+				if i == j {
+					continue
+				}
+				ev, ok := m.n.Evidence(o.srv.URL)
+				if !ok || ev.Digest.State != gossip.Alive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	res.MeshConvergeMS = mesh
+
+	victim := ms[0]
+	victim.srv.Close()
+	victim.n.Stop()
+	death, err := wait("death detection", func() bool {
+		for _, m := range ms[1:] {
+			ev, ok := m.n.Evidence(victim.srv.URL)
+			if !ok || ev.Digest.State != gossip.Dead {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return res, err
+	}
+	res.DeathDetectMS = death
+	return res, nil
+}
+
+// runReplicaWarm prices the availability win of the replicated result
+// store: the same finished result is (a) peer-warmed from a replica over
+// real HTTP — the push/fetch wire format, the MRS1 entry checksum verify —
+// and (b) recomputed from scratch through the pool. Both sides report p50
+// over the sample count; the gap is why a backend asks the ring before it
+// re-runs the DP.
+func runReplicaWarm(quick bool) (replicaBenchResult, error) {
+	samples := 24
+	if quick {
+		samples = 6
+	}
+	dir, err := os.MkdirTemp("", "merlinbench-replica")
+	if err != nil {
+		return replicaBenchResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	peer, err := service.NewDurable(service.Config{Workers: 1, JournalDir: dir})
+	if err != nil {
+		return replicaBenchResult{}, err
+	}
+	defer peer.Shutdown(context.Background())
+	srv := httptest.NewServer(peer.Handler())
+	defer srv.Close()
+
+	local := service.New(service.Config{Workers: 2})
+	defer local.Shutdown(context.Background())
+
+	n := benchNet(6, 4000)
+	resp, err := local.Route(context.Background(), &service.RouteRequest{Net: n, MaxLoops: 1})
+	if err != nil {
+		return replicaBenchResult{}, err
+	}
+	payload, err := json.Marshal(resp)
+	if err != nil {
+		return replicaBenchResult{}, err
+	}
+
+	repl, err := journal.NewReplicator(journal.ReplicatorConfig{
+		Self:   "bench://self",
+		Ring:   func(string) []string { return []string{"bench://self", srv.URL} },
+		Client: &http.Client{Timeout: 5 * time.Second},
+	})
+	if err != nil {
+		return replicaBenchResult{}, err
+	}
+	repl.Start()
+	defer repl.Stop()
+	repl.Enqueue("bench|full", payload, "", "")
+	// Wait for the async push to land (the first successful fetch doubles as
+	// connection warm-up).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, _, err := repl.Fetch(context.Background(), "bench|full"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return replicaBenchResult{}, fmt.Errorf("replica bench: push never landed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	warm := make([]float64, samples)
+	for i := range warm {
+		start := time.Now()
+		if _, _, err := repl.Fetch(context.Background(), "bench|full"); err != nil {
+			return replicaBenchResult{}, err
+		}
+		warm[i] = float64(time.Since(start).Microseconds()) / 1000
+	}
+	// Recompute must be cold: a net this process has never solved, so no
+	// result cache and no warm per-worker engine state flatters the DP.
+	recomp := make([]float64, samples)
+	for i := range recomp {
+		cold := benchNet(6, int64(5000+i))
+		start := time.Now()
+		if _, err := local.Route(context.Background(), &service.RouteRequest{Net: cold, MaxLoops: 1, NoCache: true}); err != nil {
+			return replicaBenchResult{}, err
+		}
+		recomp[i] = float64(time.Since(start).Microseconds()) / 1000
+	}
+	sort.Float64s(warm)
+	sort.Float64s(recomp)
+	return replicaBenchResult{
+		Samples:        samples,
+		PeerWarmP50MS:  warm[len(warm)/2],
+		RecomputeP50MS: recomp[len(recomp)/2],
+	}, nil
 }
 
 // runRouterHop measures the router's per-request overhead: one backend

@@ -10,6 +10,8 @@
 //	        [-brownout 100ms] [-brownout-drain 2s]
 //	        [-journal-dir DIR] [-fsync always|interval|never]
 //	        [-trace-ring N] [-trace-slow 250ms] [-trace-sample N]
+//	        [-gossip http://self:8080] [-gossip-peers URL,...]
+//	        [-peers URL,...] [-replicas 2]
 //	merlind -smoke [-target http://host:port]
 //	merlind -audit-verify -journal-dir DIR
 //
@@ -25,6 +27,18 @@
 // negative disables tracing entirely). -trace-slow is the latency above
 // which a trace is always retained; -trace-sample N keeps 1-in-N of the
 // faster ones (1 = keep all).
+//
+// -gossip joins the fleet's SWIM-style health gossip: the flag value is this
+// node's own advertised base URL, -gossip-peers seeds the membership (any
+// subset; the rest is learned). Gossiping nodes exchange signed-sequence
+// digests on POST /v1/gossip and expose the membership view under /v1/stats.
+//
+// -peers enables result replication on durable nodes: every persisted result
+// is asynchronously pushed to its ring successors among the listed backend
+// URLs (-replicas copies, default 2), and a node missing a result warms it
+// back from a replica — checksum-verified — before recomputing. Requires
+// -journal-dir (there must be a store) and -gossip (the node must know its
+// own URL to exclude itself from the ring).
 //
 // -audit-verify walks the audit log's hash chain under -journal-dir instead
 // of serving: it prints a verification report and exits 0 when the chain is
@@ -51,9 +65,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"merlin/internal/router"
 	"merlin/internal/service"
 	"merlin/internal/trace"
 )
@@ -85,6 +101,16 @@ func main() {
 			"keep 1-in-N traces below -trace-slow (0 or 1 = keep all)")
 		auditVerify = flag.Bool("audit-verify", false,
 			"verify the audit log's hash chain under -journal-dir and exit")
+		gossipSelf = flag.String("gossip", "",
+			"this node's advertised base URL; joins fleet health gossip (empty disables)")
+		gossipPeers = flag.String("gossip-peers", "",
+			"comma-separated seed URLs for gossip membership")
+		gossipInterval = flag.Duration("gossip-interval", 0,
+			"gossip round cadence (0 = 200ms)")
+		peers = flag.String("peers", "",
+			"comma-separated durable-backend URLs forming the result replication ring (requires -journal-dir and -gossip)")
+		replicaCount = flag.Int("replicas", 0,
+			"replica copies pushed per persisted result (0 = 2)")
 	)
 	flag.Parse()
 	cfg := service.Config{
@@ -100,6 +126,13 @@ func main() {
 		TraceRing:        *traceRing,
 		TraceSlow:        *traceSlow,
 		TraceSampleN:     *traceSample,
+		GossipSelf:       *gossipSelf,
+		GossipPeers:      splitURLs(*gossipPeers),
+		GossipInterval:   *gossipInterval,
+	}
+	if err := wireReplication(&cfg, *peers, *replicaCount); err != nil {
+		fmt.Fprintln(os.Stderr, "merlind:", err)
+		os.Exit(1)
 	}
 	var err error
 	switch {
@@ -114,6 +147,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlind:", err)
 		os.Exit(1)
 	}
+}
+
+// splitURLs parses a comma-separated URL list, trimming trailing slashes so
+// ring membership compares equal regardless of how operators typed them.
+func splitURLs(s string) []string {
+	var urls []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSuffix(strings.TrimSpace(u), "/"); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return urls
+}
+
+// wireReplication turns -peers/-replicas into a replica ring on cfg. The
+// ring is the router tier's consistent hash (virtual-node defaults), so all
+// nodes agree on successor order without coordination.
+func wireReplication(cfg *service.Config, peers string, replicas int) error {
+	urls := splitURLs(peers)
+	if len(urls) == 0 {
+		return nil
+	}
+	if cfg.JournalDir == "" {
+		return errors.New("-peers requires -journal-dir (replication needs a result store)")
+	}
+	if cfg.GossipSelf == "" {
+		return errors.New("-peers requires -gossip (the node must know its own URL)")
+	}
+	ring, err := router.NewRing(urls, 0)
+	if err != nil {
+		return err
+	}
+	cfg.ReplicaRing = ring.PickString
+	cfg.ReplicaSelf = cfg.GossipSelf
+	cfg.ReplicaCount = replicas
+	return nil
 }
 
 // runAuditVerify replays the audit log's hash chain and reports. Exit 0

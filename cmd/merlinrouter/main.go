@@ -14,6 +14,8 @@
 //	             [-qos-rate 50] [-qos-burst 100] [-qos-concurrency 32]
 //	             [-qos-tenants acme=gold,guest=bronze]
 //	             [-trace-ring 256]
+//	             [-gossip http://self:8090] [-gossip-peers URL,...]
+//	             [-fleet-brownout]
 //
 // -backends is the ring: each URL is a merlind base URL. The ring never
 // reshards at runtime — an unreachable or draining backend is skipped, and
@@ -27,6 +29,15 @@
 // classes gold (4× rate, 2× concurrency), standard and bronze (¼ rate,
 // ½ concurrency) assigned via -qos-tenants. A negative -qos-rate or
 // -qos-concurrency disables that gate.
+//
+// -gossip joins the fleet's health gossip (the flag value is this router's
+// own advertised base URL, -gossip-peers the seeds — typically the
+// backends). A gossiping router desynchronizes its readyz probes and backs
+// off probing backends whose fresh digests agree with its local view.
+// -fleet-brownout additionally aggregates gossiped backend pressure into a
+// fleet load estimate: above the high-water mark the router stamps
+// allow_degraded onto degradable requests and sheds overdraft for the lower
+// QoS classes, so the fleet degrades together before any backend saturates.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
 // proxied requests finish, then the process exits.
@@ -71,6 +82,10 @@ func main() {
 
 		traceRing = flag.Int("trace-ring", 0, "retained router traces for /v1/trace/{id} (0 = 256, negative disables)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		gossipSelf    = flag.String("gossip", "", "this router's advertised base URL; joins fleet health gossip (empty disables)")
+		gossipPeers   = flag.String("gossip-peers", "", "comma-separated seed URLs for gossip membership")
+		fleetBrownout = flag.Bool("fleet-brownout", false, "coordinate brownout fleet-wide from gossiped backend pressure (requires -gossip)")
 	)
 	flag.Parse()
 	tenants, err := qos.ParseTenantClasses(*qosTenants)
@@ -78,11 +93,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "merlinrouter:", err)
 		os.Exit(1)
 	}
-	if err := run(*addr, *drain, routerConfig(
+	cfg := routerConfig(
 		*backends, *replicas, *probeInterval, *probeTimeout, *failThreshold,
 		*ejectBase, *ejectMax, *maxAttempts, *hedge,
 		*qosRate, *qosBurst, *qosConcurrency, tenants, *traceRing,
-	)); err != nil {
+	)
+	cfg.GossipSelf = strings.TrimSuffix(strings.TrimSpace(*gossipSelf), "/")
+	for _, p := range strings.Split(*gossipPeers, ",") {
+		if p = strings.TrimSuffix(strings.TrimSpace(p), "/"); p != "" {
+			cfg.GossipPeers = append(cfg.GossipPeers, p)
+		}
+	}
+	cfg.FleetBrownout = *fleetBrownout
+	if err := run(*addr, *drain, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "merlinrouter:", err)
 		os.Exit(1)
 	}

@@ -236,4 +236,21 @@ const (
 	// probe; an injected error counts as a failed probe and must march the
 	// backend's breaker toward open without affecting in-flight forwards.
 	SiteRouterHealth = "router.health"
+	// SiteGossipSend fires before each outgoing gossip exchange; an injected
+	// error counts as an unreachable peer and must only delay convergence
+	// (suspicion timers still run), never wedge the gossip loop.
+	SiteGossipSend = "gossip.send"
+	// SiteGossipMerge fires inside digest merge on each received packet; an
+	// injected error must drop that packet whole — partial merges would split
+	// the membership view — and be counted, never panic the node.
+	SiteGossipMerge = "gossip.merge"
+	// SiteStoreReplicate fires before each replica push to a ring successor;
+	// an injected error fails only that copy (retried by the queue), and the
+	// local write it shadows stays durable and serveable.
+	SiteStoreReplicate = "store.replicate"
+	// SiteStorePeerWarm fires inside the peer-warm fetch after the replica
+	// bytes arrive; an injected error flips one payload bit (a corrupt
+	// replica), which the MRS1 checksum must catch — the fetch is discarded
+	// and the result recomputed, never served or re-replicated.
+	SiteStorePeerWarm = "store.peerwarm"
 )

@@ -1,0 +1,64 @@
+package gossip
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// GossipPath is where every node mounts its inbound gossip handler.
+const GossipPath = "/v1/gossip"
+
+// packetContentType labels gossip packets on the wire.
+const packetContentType = "application/x-merlin-gossip"
+
+// maxReplyBytes bounds a reply packet read; a view of maxDigests full
+// digests fits comfortably.
+const maxReplyBytes = 1 << 20
+
+// HTTPTransport returns a Transport that POSTs packets to peer+GossipPath,
+// treating the peer name as its base URL. A nil client uses
+// http.DefaultClient (callers should pass one with a timeout).
+func HTTPTransport(client *http.Client) Transport {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return func(ctx context.Context, peer string, packet []byte) ([]byte, error) {
+		url := strings.TrimSuffix(peer, "/") + GossipPath
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(packet)))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", packetContentType)
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("gossip: peer %s: status %d", peer, resp.StatusCode)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, maxReplyBytes))
+	}
+}
+
+// Handler adapts a Node's inbound half to net/http for mounting at
+// POST /v1/gossip. Bad packets get a 400; the node's counters record them.
+func Handler(n *Node) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxReplyBytes))
+		if err != nil {
+			http.Error(w, "read error", http.StatusBadRequest)
+			return
+		}
+		reply, err := n.HandlePacket(r.Context(), body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", packetContentType)
+		w.Write(reply)
+	}
+}

@@ -1,0 +1,244 @@
+// Gossip wire format v1.
+//
+// A packet is a fixed header plus a list of self-describing digests:
+//
+//	magic "MGP1" | u32 CRC32C (of everything after this field) | u16 count |
+//	count × ( u8 version | u16 bodyLen | body )
+//
+// and a v1 body is, in order (all integers little-endian):
+//
+//	u16 nodeLen | node | u64 incarnation | u64 seq | u8 state | u8 role |
+//	u8 ready | u16 reasonLen | reason | u64 Float64bits(queueUtil) |
+//	u32 tier | u64 storeHighWater
+//
+// The per-digest (version, bodyLen) envelope is what keeps mixed-version
+// fleets safe: a decoder that doesn't know a digest's version skips exactly
+// bodyLen bytes and keeps going, so new digest versions degrade to "not
+// heard from" rather than poisoning the whole packet. Within v1, decoders
+// ignore trailing body bytes past the known fields, so v1 can grow
+// additively; any change to the existing field layout must bump the
+// version. The golden test (wire_golden_test.go) pins these bytes.
+package gossip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// State is a member's liveness as believed by some node.
+type State uint8
+
+const (
+	// Alive: fresh evidence of the member operating.
+	Alive State = iota
+	// Suspect: evidence went stale; the member may be partitioned or down.
+	// Routing still tries it, but eviction timers are running.
+	Suspect
+	// Dead: suspicion expired without refutation; the member is evicted
+	// from routing decisions until it speaks for itself again.
+	Dead
+)
+
+// String names the state for stats and trace attributes.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Role tells consumers how to weigh a member's payload: backends carry
+// queue/tier pressure that feeds the fleet estimate; routers gossip for
+// liveness and observation-sharing only.
+type Role uint8
+
+const (
+	RoleBackend Role = iota
+	RoleRouter
+)
+
+// String names the role for stats output.
+func (r Role) String() string {
+	switch r {
+	case RoleBackend:
+		return "backend"
+	case RoleRouter:
+		return "router"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Digest is one node's health as carried on the wire: who, how fresh
+// ((incarnation, seq) totally orders claims about one node), and the
+// operational payload consumers act on.
+type Digest struct {
+	Node           string
+	Incarnation    uint64
+	Seq            uint64
+	State          State
+	Role           Role
+	Ready          bool
+	Reason         string // why not ready ("draining", "journal_unavailable", ...)
+	QueueUtil      float64
+	Tier           uint32 // brownout tier the node is admitting at
+	StoreHighWater uint64 // result-store write count (replication watermark)
+}
+
+const (
+	wireVersion = 1
+
+	// Decode sanity caps: a packet that claims more is corrupt or hostile,
+	// not big.
+	maxDigests = 4096
+	maxStrLen  = 1024
+)
+
+var (
+	wireMagic = []byte("MGP1")
+
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+	// ErrWire is wrapped by every decode failure.
+	ErrWire = errors.New("gossip: bad packet")
+)
+
+// EncodePacket serialises digests into one wire packet.
+func EncodePacket(digests []Digest) []byte {
+	body := make([]byte, 0, 64*len(digests)+8)
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(digests)))
+	for _, d := range digests {
+		db := appendDigestBody(nil, d)
+		body = append(body, wireVersion)
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(db)))
+		body = append(body, db...)
+	}
+	out := make([]byte, 0, len(wireMagic)+4+len(body))
+	out = append(out, wireMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+	return append(out, body...)
+}
+
+func appendDigestBody(b []byte, d Digest) []byte {
+	b = appendString(b, d.Node)
+	b = binary.LittleEndian.AppendUint64(b, d.Incarnation)
+	b = binary.LittleEndian.AppendUint64(b, d.Seq)
+	b = append(b, byte(d.State))
+	b = append(b, byte(d.Role))
+	if d.Ready {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendString(b, d.Reason)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(d.QueueUtil))
+	b = binary.LittleEndian.AppendUint32(b, d.Tier)
+	return binary.LittleEndian.AppendUint64(b, d.StoreHighWater)
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > maxStrLen {
+		s = s[:maxStrLen]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// DecodePacket parses a wire packet. Digests with an unknown version are
+// skipped (counted in the second return), not errors — that is the
+// mixed-version contract. Any framing or checksum violation fails the whole
+// packet: a partial merge would split the membership view.
+func DecodePacket(data []byte) (digests []Digest, skipped int, err error) {
+	if len(data) < len(wireMagic)+4+2 {
+		return nil, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrWire, len(data))
+	}
+	if string(data[:len(wireMagic)]) != string(wireMagic) {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrWire)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[len(wireMagic):])
+	body := data[len(wireMagic)+4:]
+	if got := crc32.Checksum(body, castagnoli); got != wantCRC {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch (want %08x got %08x)", ErrWire, wantCRC, got)
+	}
+	count := int(binary.LittleEndian.Uint16(body))
+	if count > maxDigests {
+		return nil, 0, fmt.Errorf("%w: digest count %d exceeds cap %d", ErrWire, count, maxDigests)
+	}
+	p := body[2:]
+	digests = make([]Digest, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 3 {
+			return nil, 0, fmt.Errorf("%w: truncated digest envelope %d", ErrWire, i)
+		}
+		ver := p[0]
+		blen := int(binary.LittleEndian.Uint16(p[1:]))
+		p = p[3:]
+		if len(p) < blen {
+			return nil, 0, fmt.Errorf("%w: digest %d body truncated (want %d have %d)", ErrWire, i, blen, len(p))
+		}
+		db := p[:blen]
+		p = p[blen:]
+		if ver != wireVersion {
+			skipped++
+			continue
+		}
+		d, derr := decodeDigestBody(db)
+		if derr != nil {
+			return nil, 0, fmt.Errorf("digest %d: %w", i, derr)
+		}
+		digests = append(digests, d)
+	}
+	return digests, skipped, nil
+}
+
+func decodeDigestBody(b []byte) (Digest, error) {
+	var d Digest
+	var err error
+	if d.Node, b, err = readString(b); err != nil {
+		return Digest{}, fmt.Errorf("%w: node: %v", ErrWire, err)
+	}
+	if len(b) < 8+8+1+1+1 {
+		return Digest{}, fmt.Errorf("%w: body truncated", ErrWire)
+	}
+	d.Incarnation = binary.LittleEndian.Uint64(b)
+	d.Seq = binary.LittleEndian.Uint64(b[8:])
+	d.State = State(b[16])
+	if d.State > Dead {
+		return Digest{}, fmt.Errorf("%w: unknown state %d", ErrWire, b[16])
+	}
+	d.Role = Role(b[17])
+	d.Ready = b[18] != 0
+	b = b[19:]
+	if d.Reason, b, err = readString(b); err != nil {
+		return Digest{}, fmt.Errorf("%w: reason: %v", ErrWire, err)
+	}
+	if len(b) < 8+4+8 {
+		return Digest{}, fmt.Errorf("%w: body truncated", ErrWire)
+	}
+	d.QueueUtil = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	d.Tier = binary.LittleEndian.Uint32(b[8:])
+	d.StoreHighWater = binary.LittleEndian.Uint64(b[12:])
+	// Trailing bytes past the v1 fields are additive growth; ignore them.
+	return d, nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errors.New("length truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if n > maxStrLen {
+		return "", nil, fmt.Errorf("length %d exceeds cap %d", n, maxStrLen)
+	}
+	if len(b) < 2+n {
+		return "", nil, errors.New("bytes truncated")
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

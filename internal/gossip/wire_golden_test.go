@@ -1,0 +1,172 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// goldenDigests cover the encoding's moving parts: both roles, every state,
+// empty and non-empty reasons, a non-trivial float bit pattern, and the
+// zero digest.
+func goldenDigests() []Digest {
+	return []Digest{
+		{
+			Node: "http://b1:8080", Incarnation: 1, Seq: 42,
+			State: Alive, Role: RoleBackend, Ready: true,
+			QueueUtil: 0.25, Tier: 0, StoreHighWater: 7,
+		},
+		{
+			Node: "http://b2:8080", Incarnation: 3, Seq: 0,
+			State: Suspect, Role: RoleBackend, Ready: false, Reason: "draining",
+			QueueUtil: 0.875, Tier: 3, StoreHighWater: 123456789,
+		},
+		{
+			Node: "http://r1:8090", Incarnation: 2, Seq: 9,
+			State: Dead, Role: RoleRouter,
+		},
+		{},
+	}
+}
+
+// TestWireGoldenPacket pins gossip wire v1 byte-for-byte.
+//
+// DO NOT update these bytes casually. This packet is exchanged between
+// every router and backend in a fleet, and fleets upgrade one process at a
+// time: a changed byte layout under an unchanged version number makes old
+// nodes misparse new digests (or vice versa) mid-rollout — membership views
+// split, healthy nodes get declared dead, and nothing in a single-version
+// test suite notices. If you changed the layout ON PURPOSE, bump
+// wireVersion, keep the v1 decoder intact for the transition, and only then
+// update the hex below.
+func TestWireGoldenPacket(t *testing.T) {
+	const want = "4d4750313b8115b404000139000e00687474703a2f2f62313a38303830010000" +
+		"00000000002a000000000000000000010000000000000000d03f000000000700" +
+		"0000000000000141000e00687474703a2f2f62323a3830383003000000000000" +
+		"0000000000000000000100000800647261696e696e67000000000000ec3f0300" +
+		"000015cd5b07000000000139000e00687474703a2f2f72313a38303930020000" +
+		"0000000000090000000000000002010000000000000000000000000000000000" +
+		"000000000000012b000000000000000000000000000000000000000000000000" +
+		"0000000000000000000000000000000000000000"
+	got := hex.EncodeToString(EncodePacket(goldenDigests()))
+	if got != want {
+		t.Errorf("gossip wire v1 bytes changed\n  got:  %s\n  want: %s\n"+
+			"An unversioned layout change splits membership views mid-rollout;\n"+
+			"see the comment above this test.", got, want)
+	}
+}
+
+// TestWireGoldenRoundTrip pins that the golden bytes decode back to the
+// digests that produced them — the two directions must drift together or
+// not at all.
+func TestWireGoldenRoundTrip(t *testing.T) {
+	in := goldenDigests()
+	out, skipped, err := DecodePacket(EncodePacket(in))
+	if err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d digests of our own version", skipped)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d digests, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("digest %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// rawPacket assembles a packet from (version, body) envelopes directly, so
+// tests can speak wire versions the encoder doesn't.
+func rawPacket(envelopes []struct {
+	ver  byte
+	body []byte
+}) []byte {
+	body := binary.LittleEndian.AppendUint16(nil, uint16(len(envelopes)))
+	for _, e := range envelopes {
+		body = append(body, e.ver)
+		body = binary.LittleEndian.AppendUint16(body, uint16(len(e.body)))
+		body = append(body, e.body...)
+	}
+	out := append([]byte(nil), wireMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(body, castagnoli))
+	return append(out, body...)
+}
+
+// TestWireUnknownVersionSkipped is the mixed-version contract: a digest
+// from a future wire version is skipped (counted), and the known digests
+// around it still decode. An upgraded node must degrade to "not heard from",
+// never poison the packet.
+func TestWireUnknownVersionSkipped(t *testing.T) {
+	known := appendDigestBody(nil, goldenDigests()[0])
+	pkt := rawPacket([]struct {
+		ver  byte
+		body []byte
+	}{
+		{ver: wireVersion + 1, body: []byte("fields from the future")},
+		{ver: wireVersion, body: known},
+		{ver: 99, body: nil},
+	})
+	got, skipped, err := DecodePacket(pkt)
+	if err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(got) != 1 || got[0] != goldenDigests()[0] {
+		t.Errorf("known digest did not survive unknown neighbors: %+v", got)
+	}
+}
+
+// TestWireTrailingBodyBytesIgnored pins v1's additive-growth rule: extra
+// bytes after the known fields decode fine (a newer v1 writer added a
+// field), so additions don't force a version bump.
+func TestWireTrailingBodyBytesIgnored(t *testing.T) {
+	want := goldenDigests()[1]
+	body := append(appendDigestBody(nil, want), 0xde, 0xad, 0xbe, 0xef)
+	pkt := rawPacket([]struct {
+		ver  byte
+		body []byte
+	}{{ver: wireVersion, body: body}})
+	got, _, err := DecodePacket(pkt)
+	if err != nil {
+		t.Fatalf("DecodePacket: %v", err)
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+// TestWireRejectsCorruption flips every byte of a valid packet in turn:
+// each flip must either fail the CRC/framing or (for flips inside a
+// skipped-version region — none here) still decode. No flip may decode to
+// different digests silently.
+func TestWireRejectsCorruption(t *testing.T) {
+	pkt := EncodePacket(goldenDigests()[:2])
+	for i := range pkt {
+		mut := append([]byte(nil), pkt...)
+		mut[i] ^= 0x01
+		if _, _, err := DecodePacket(mut); err == nil {
+			t.Fatalf("flip at byte %d decoded cleanly; CRC must catch single-bit corruption", i)
+		}
+	}
+	if _, _, err := DecodePacket(pkt[:7]); err == nil {
+		t.Fatal("truncated packet decoded cleanly")
+	}
+	if _, _, err := DecodePacket(nil); err == nil {
+		t.Fatal("empty packet decoded cleanly")
+	}
+}
+
+func init() {
+	// Keep the golden digests honest: 0.25 and 0.875 were chosen for exact
+	// float representations; if that assumption rots the golden hex misleads.
+	if math.Float64bits(0.25) != 0x3fd0000000000000 {
+		panic("float assumptions broken")
+	}
+}

@@ -1,0 +1,236 @@
+package journal
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"merlin/internal/faultinject"
+)
+
+// replicaPeer is a minimal in-memory replica endpoint: the receiving half
+// of ReplicaPath, verifying pushes like the real service does.
+type replicaPeer struct {
+	mu      sync.Mutex
+	entries map[string][]byte // key → raw MRS1 entry bytes
+	reject  bool              // force 422 on every push
+	flip    bool              // serve fetches with one payload bit flipped
+	puts    atomic.Int64
+}
+
+func newReplicaPeer(t *testing.T) (*replicaPeer, string) {
+	t.Helper()
+	p := &replicaPeer{entries: map[string][]byte{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+ReplicaPath+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		p.puts.Add(1)
+		if p.reject {
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			return
+		}
+		key, _ := url.PathUnescape(r.PathValue("key"))
+		body := make([]byte, 0, 256)
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		if _, ok := DecodeEntry(body); !ok {
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			return
+		}
+		p.mu.Lock()
+		p.entries[key] = append([]byte(nil), body...)
+		p.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET "+ReplicaPath+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		key, _ := url.PathUnescape(r.PathValue("key"))
+		p.mu.Lock()
+		e, ok := p.entries[key]
+		e = append([]byte(nil), e...)
+		p.mu.Unlock()
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		if p.flip {
+			e[len(storeMagic)+frameHeader] ^= 0x01
+		}
+		_, _ = w.Write(e)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return p, srv.URL
+}
+
+func newTestReplicator(t *testing.T, self string, ring []string) *Replicator {
+	t.Helper()
+	r, err := NewReplicator(ReplicatorConfig{
+		Self:       self,
+		Ring:       func(string) []string { return ring },
+		Client:     &http.Client{Timeout: time.Second},
+		RetryDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r
+}
+
+func waitDrained(t *testing.T, r *Replicator) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.pending.Load() == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("replication queue never drained: pending=%d", r.pending.Load())
+}
+
+// TestTargetsExcludeSelf pins the replica-set rule: ring order, self
+// removed, truncated to Replicas.
+func TestTargetsExcludeSelf(t *testing.T) {
+	r, err := NewReplicator(ReplicatorConfig{
+		Self: "b2",
+		Ring: func(string) []string { return []string{"b1", "b2", "b3", "b4"} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Targets("any")
+	if len(got) != 2 || got[0] != "b1" || got[1] != "b3" {
+		t.Fatalf("Targets = %v, want [b1 b3] (ring order minus self, R=2)", got)
+	}
+}
+
+// TestPushAndPeerWarm is the happy path: a result pushed to the ring comes
+// back byte-identical via Fetch after the local copy is gone.
+func TestPushAndPeerWarm(t *testing.T) {
+	peer, peerURL := newReplicaPeer(t)
+	r := newTestReplicator(t, "self", []string{"self", peerURL})
+
+	payload := []byte(`{"result":"the answer"}`)
+	r.Enqueue("k1|full", payload, "j-1", "done")
+	waitDrained(t, r)
+	if peer.puts.Load() == 0 {
+		t.Fatal("push never reached the peer")
+	}
+
+	got, from, err := r.Fetch(context.Background(), "k1|full")
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("Fetch = %q, want %q", got, payload)
+	}
+	if from != peerURL {
+		t.Fatalf("Fetch peer = %q, want %q", from, peerURL)
+	}
+	if st := r.Stats(); st.Pushes != 1 || st.FetchHits != 1 {
+		t.Errorf("stats = %+v, want 1 push and 1 fetch hit", st)
+	}
+}
+
+// TestCorruptReplicaNeverServed is the transit-corruption discipline: a
+// replica whose MRS1 entry comes back bit-flipped must be discarded and
+// counted, and a clean replica further along the ring must serve instead.
+// With every replica corrupt, Fetch reports ErrNotFound — the caller
+// recomputes; corrupt bytes are never returned.
+func TestCorruptReplicaNeverServed(t *testing.T) {
+	bad, badURL := newReplicaPeer(t)
+	good, goodURL := newReplicaPeer(t)
+	r := newTestReplicator(t, "self", []string{"self", badURL, goodURL})
+
+	payload := []byte(`{"result":"intact"}`)
+	r.Enqueue("k2|full", payload, "", "")
+	waitDrained(t, r)
+
+	bad.flip = true
+	got, from, err := r.Fetch(context.Background(), "k2|full")
+	if err != nil {
+		t.Fatalf("Fetch with one clean replica: %v", err)
+	}
+	if string(got) != string(payload) || from != goodURL {
+		t.Fatalf("Fetch = %q from %q, want clean payload from %q", got, from, goodURL)
+	}
+	if st := r.Stats(); st.FetchCorrupt != 1 {
+		t.Errorf("FetchCorrupt = %d, want 1", st.FetchCorrupt)
+	}
+
+	good.flip = true
+	if _, _, err := r.Fetch(context.Background(), "k2|full"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch with every replica corrupt: %v, want ErrNotFound", err)
+	}
+	if st := r.Stats(); st.FetchCorrupt != 3 || st.FetchMisses != 1 {
+		t.Errorf("stats = %+v, want 3 corrupt discards and 1 miss", st)
+	}
+}
+
+// TestFetchInjectedBitFlip arms the store.peerwarm fault site: the injected
+// transit flip must be caught by the entry checksum exactly like disk
+// corruption is.
+func TestFetchInjectedBitFlip(t *testing.T) {
+	defer faultinject.Reset()
+	_, peerURL := newReplicaPeer(t)
+	r := newTestReplicator(t, "self", []string{"self", peerURL})
+	r.Enqueue("k3|full", []byte(`{"result":"x"}`), "", "")
+	waitDrained(t, r)
+
+	faultinject.Arm(faultinject.SiteStorePeerWarm, faultinject.Fault{Mode: faultinject.ModeError})
+	if _, _, err := r.Fetch(context.Background(), "k3|full"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Fetch under injected flip: %v, want ErrNotFound", err)
+	}
+	faultinject.Reset()
+	if got, _, err := r.Fetch(context.Background(), "k3|full"); err != nil || string(got) != `{"result":"x"}` {
+		t.Fatalf("Fetch after disarm: %q, %v", got, err)
+	}
+}
+
+// TestRejectedPushNotRetried pins 422 as terminal: resending bytes the
+// receiver verified corrupt cannot succeed, so one attempt per target.
+func TestRejectedPushNotRetried(t *testing.T) {
+	peer, peerURL := newReplicaPeer(t)
+	peer.reject = true
+	r := newTestReplicator(t, "self", []string{"self", peerURL})
+	r.Enqueue("k4|full", []byte("p"), "", "")
+	waitDrained(t, r)
+	if n := peer.puts.Load(); n != 1 {
+		t.Errorf("rejected push attempted %d times, want 1 (422 is terminal)", n)
+	}
+	if st := r.Stats(); st.PushRejected != 1 {
+		t.Errorf("PushRejected = %d, want 1", st.PushRejected)
+	}
+}
+
+// TestEnqueueDropsWhenFull pins the lossy-queue contract: a full queue
+// drops the copy and counts it instead of blocking the completion path.
+func TestEnqueueDropsWhenFull(t *testing.T) {
+	r, err := NewReplicator(ReplicatorConfig{
+		Self:       "self",
+		Ring:       func(string) []string { return []string{"self", "http://unreachable.invalid"} },
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers never started: the queue fills and stays full.
+	r.Enqueue("a|full", []byte("p"), "", "")
+	r.Enqueue("b|full", []byte("p"), "", "")
+	if st := r.Stats(); st.Dropped != 1 || st.Pending != 1 {
+		t.Errorf("stats = %+v, want 1 queued and 1 dropped", st)
+	}
+}

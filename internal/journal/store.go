@@ -92,9 +92,7 @@ func (s *Store) PutCtx(ctx context.Context, key string, payload []byte) error {
 		return fmt.Errorf("journal: store entry size %d out of range [1, %d]", len(payload), MaxRecordSize)
 	}
 	name := keyFile(key)
-	buf := make([]byte, 0, len(storeMagic)+frameHeader+len(payload))
-	buf = append(buf, storeMagic...)
-	buf = AppendFrame(buf, payload)
+	buf := EncodeEntry(payload)
 	tmp := filepath.Join(s.dir, name+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -151,6 +149,25 @@ func (s *Store) Get(key string) ([]byte, error) {
 	s.hits.Add(1)
 	return payload, nil
 }
+
+// EncodeEntry serialises payload as one self-checking MRS1 entry. This is
+// also the byte format replica pushes and peer-warm fetches carry on the
+// wire, so a bit flipped in transit is caught by the same checksum as one
+// flipped on disk.
+func EncodeEntry(payload []byte) []byte {
+	buf := make([]byte, 0, len(storeMagic)+frameHeader+len(payload))
+	buf = append(buf, storeMagic...)
+	return AppendFrame(buf, payload)
+}
+
+// DecodeEntry validates an MRS1 entry and returns its payload; ok is false
+// on any framing or checksum violation. Receivers of replicated entries
+// must call this before storing or serving anything.
+func DecodeEntry(data []byte) ([]byte, bool) { return decodeEntry(data) }
+
+// WriteCount is the number of successful Puts since open — the store
+// high-water mark a backend gossips to the fleet (no directory scan).
+func (s *Store) WriteCount() uint64 { return s.writes.Load() }
 
 // decodeEntry validates magic + frame and returns the payload.
 func decodeEntry(data []byte) ([]byte, bool) {

@@ -21,6 +21,10 @@ func fakeRegistry() *Registry {
 		"SiteServiceHandler": "service.handler",
 		"SiteRouterForward":  "router.forward",
 		"SiteRouterHealth":   "router.health",
+		"SiteGossipSend":     "gossip.send",
+		"SiteGossipMerge":    "gossip.merge",
+		"SiteStoreReplicate": "store.replicate",
+		"SiteStorePeerWarm":  "store.peerwarm",
 	} {
 		reg.Consts[name] = val
 		reg.Values[val] = true

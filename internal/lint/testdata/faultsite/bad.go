@@ -11,4 +11,6 @@ func bad() {
 	_ = faultinject.Fire(faultinject.SiteDoesNotExist)           // want faultsite
 	_ = faultinject.Set("core.construct=panic,bogus.site=error") // want faultsite
 	_ = faultinject.Fire("router.forwrad")                       // want faultsite
+	_ = faultinject.Fire("gossip.sned")                          // want faultsite
+	faultinject.Arm("store.peerwam", faultinject.Fault{})        // want faultsite
 }

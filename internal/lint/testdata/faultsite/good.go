@@ -20,4 +20,12 @@ func good(site string) {
 	_ = faultinject.Fire(faultinject.SiteRouterForward)
 	_ = faultinject.Fire("router.health")
 	_ = faultinject.Set("router.forward=error@0.5,router.health=error")
+
+	// Gossip and replication sites (partition drills arm these to drop
+	// exchanges and corrupt replica bytes in transit).
+	_ = faultinject.Fire(faultinject.SiteGossipSend)
+	_ = faultinject.Fire(faultinject.SiteGossipMerge)
+	faultinject.Arm("store.peerwarm", faultinject.Fault{})
+	_ = faultinject.Fire("store.replicate")
+	_ = faultinject.Set("gossip.send=error@0.3,store.replicate=delay:5ms")
 }

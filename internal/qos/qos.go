@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -194,9 +195,36 @@ type tenant struct {
 type Controller struct {
 	cfg Config
 
+	// fleetLevel is the router-published fleet brownout level. At ≥ 1
+	// bronze tenants lose the overdraft courtesy, at ≥ 2 standard tenants
+	// do too: an over-rate request that would have been served degraded
+	// gets a truthful 429 instead (the tenant *is* over its primary rate —
+	// the overdraft was always a fair-weather extra), shedding the classes
+	// that should yield first while the fleet is browning out.
+	fleetLevel atomic.Int32
+
 	mu      sync.Mutex
 	tenants map[string]*tenant
 	evicted uint64
+}
+
+// SetFleetLevel publishes the fleet brownout level (0 = calm). Routers
+// call this from their fleet controller; it is cheap and lock-free.
+func (c *Controller) SetFleetLevel(level int32) { c.fleetLevel.Store(level) }
+
+// FleetLevel reports the currently published level.
+func (c *Controller) FleetLevel() int32 { return c.fleetLevel.Load() }
+
+// overdraftAllowed reports whether the tenant's class keeps its overdraft
+// courtesy at the current fleet level.
+func (c *Controller) overdraftAllowed(cl Class) bool {
+	switch l := c.fleetLevel.Load(); {
+	case l >= 2:
+		return cl.Name == ClassGold.Name
+	case l >= 1:
+		return cl.Name != ClassBronze.Name
+	}
+	return true
 }
 
 // NewController builds a controller; it returns an error only for an
@@ -247,7 +275,7 @@ func (c *Controller) Admit(name string, degradable bool) (d Decision, release fu
 		t.admitted++
 		t.inflight++
 		return Admit, c.releaseFunc(name), 0
-	case degradable && t.overdraft.take(now, rate, burst):
+	case degradable && c.overdraftAllowed(t.class) && t.overdraft.take(now, rate, burst):
 		t.degraded++
 		t.inflight++
 		return AdmitDegraded, c.releaseFunc(name), 0

@@ -1,0 +1,169 @@
+package router
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"merlin/internal/gossip"
+)
+
+// fleetBrownout turns gossiped backend pressure into a fleet-wide admission
+// level, so routers start degrading traffic together before any single
+// backend saturates and discovers overload alone.
+//
+// Pressure for one backend is max(queue utilization, brownout tier
+// fraction) from its freshest gossip digest; the fleet estimate is the mean
+// over alive backends with fresh evidence. Suspect and dead members are
+// excluded — their load is about to be rerouted onto the survivors, whose
+// own digests will carry the resulting pressure within a tick or two, and
+// counting ghosts would pin the level high after the storm ends.
+//
+// Like the per-node brownout (internal/service/brownout.go) this raises
+// immediately and lowers only after a cooldown of calm samples: flapping
+// admission policy is worse than a conservative one.
+type fleetBrownout struct {
+	highWater float64
+	lowWater  float64
+	cooldown  int
+
+	level atomic.Int32
+
+	mu       sync.Mutex
+	calm     int
+	pressure float64 // last sample, for stats
+	counted  int     // backends in the last sample
+	raised   uint64
+	lowered  uint64
+}
+
+// fleetStep is how far past FleetHighWater the pressure must go for level
+// 2 (standard-class shedding); level 1 starts at FleetHighWater exactly.
+const fleetStep = 0.15
+
+// fleetMaxLevel caps the ladder: 1 = degrade everything degradable + shed
+// bronze overdraft, 2 = shed standard overdraft too.
+const fleetMaxLevel = 2
+
+// maxTier mirrors the backend ladder depth (full → nobubble → lttree →
+// vangin): gossiped tier/maxTier is the "how far down the ladder" fraction.
+const maxTier = 3
+
+func newFleetBrownout(cfg Config) *fleetBrownout {
+	return &fleetBrownout{
+		highWater: cfg.FleetHighWater,
+		lowWater:  cfg.FleetLowWater,
+		cooldown:  cfg.FleetCooldown,
+	}
+}
+
+// fleetLoop samples at the gossip cadence — pressure can't change faster
+// than evidence arrives.
+func (rt *Router) fleetLoop() {
+	interval := rt.cfg.GossipInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-t.C:
+			rt.fleetSample(interval)
+		}
+	}
+}
+
+// fleetSample recomputes the fleet level from the current membership view
+// and publishes it to the QoS controller.
+func (rt *Router) fleetSample(interval time.Duration) {
+	members := rt.gossip.Members()
+	var sum float64
+	var n int
+	for _, m := range members {
+		if m.Digest.Role != gossip.RoleBackend || m.Digest.State != gossip.Alive {
+			continue
+		}
+		if m.Age > 4*interval {
+			continue // stale enough that the sweep is about to suspect it
+		}
+		p := math.Max(m.Digest.QueueUtil, float64(m.Digest.Tier)/maxTier)
+		sum += math.Min(p, 1)
+		n++
+	}
+	var pressure float64
+	if n > 0 {
+		pressure = sum / float64(n)
+	}
+
+	f := rt.fleet
+	f.mu.Lock()
+	f.pressure, f.counted = pressure, n
+	level := f.level.Load()
+	want := level
+	switch {
+	case pressure >= f.highWater+fleetStep:
+		want = fleetMaxLevel
+	case pressure >= f.highWater:
+		if want < 1 {
+			want = 1
+		}
+	}
+	if want > level {
+		// Raise immediately — waiting out a cooldown while the fleet
+		// saturates is how queues overflow.
+		f.level.Store(want)
+		f.calm = 0
+		f.raised += uint64(want - level)
+		rt.inc("fleet.raised")
+	} else if level > 0 && pressure < f.lowWater {
+		f.calm++
+		if f.calm >= f.cooldown {
+			f.level.Store(level - 1)
+			f.calm = 0
+			f.lowered++
+			rt.inc("fleet.lowered")
+		}
+	} else {
+		f.calm = 0
+	}
+	f.mu.Unlock()
+
+	rt.adm.SetFleetLevel(f.level.Load())
+}
+
+// fleetLevel is the current fleet brownout level (0 when disabled).
+func (rt *Router) fleetLevel() int32 {
+	if rt.fleet == nil {
+		return 0
+	}
+	return rt.fleet.level.Load()
+}
+
+// FleetStats is the fleet-brownout section of /v1/stats.
+type FleetStats struct {
+	Level     int32   `json:"level"`
+	Pressure  float64 `json:"pressure"`
+	Backends  int     `json:"backends"` // backends counted into the estimate
+	HighWater float64 `json:"high_water"`
+	LowWater  float64 `json:"low_water"`
+	Raised    uint64  `json:"raised"`
+	Lowered   uint64  `json:"lowered"`
+}
+
+func (f *fleetBrownout) stats() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FleetStats{
+		Level:     f.level.Load(),
+		Pressure:  f.pressure,
+		Backends:  f.counted,
+		HighWater: f.highWater,
+		LowWater:  f.lowWater,
+		Raised:    f.raised,
+		Lowered:   f.lowered,
+	}
+}

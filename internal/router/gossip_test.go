@@ -1,0 +1,180 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"merlin/internal/gossip"
+)
+
+// TestProbePhaseJitter pins the probe-clock desynchronization: phases are
+// deterministic per (seed, backend) — restarts don't reshuffle cadence —
+// distinct across backends, distinct across routers (seeds), and always
+// inside [0, ProbeInterval).
+func TestProbePhaseJitter(t *testing.T) {
+	// An hour-long interval keeps every probe clock waiting out its phase
+	// for the duration of the test — no probe traffic, pure arithmetic.
+	backends := []string{deadURL(t), deadURL(t), deadURL(t)}
+	rt1 := newTestRouter(t, Config{Backends: backends, Seed: 1, ProbeInterval: time.Hour})
+	rt2 := newTestRouter(t, Config{Backends: backends, Seed: 2, ProbeInterval: time.Hour})
+
+	interval := rt1.cfg.ProbeInterval
+	seen := map[time.Duration]bool{}
+	for _, b := range backends {
+		p := rt1.probePhase(b)
+		if p < 0 || p >= interval {
+			t.Fatalf("phase %v outside [0, %v)", p, interval)
+		}
+		if p != rt1.probePhase(b) {
+			t.Fatalf("phase for %s not deterministic", b)
+		}
+		if seen[p] {
+			t.Fatalf("two backends share phase %v; the herd is back", p)
+		}
+		seen[p] = true
+		if p == rt2.probePhase(b) {
+			t.Fatalf("routers with different seeds share phase %v for %s", p, b)
+		}
+	}
+}
+
+// seedGossip installs a digest about one backend into the router's gossip
+// node as if it had just merged it off the wire.
+func seedGossip(t *testing.T, rt *Router, d gossip.Digest) {
+	t.Helper()
+	if err := rt.gossip.Merge(t.Context(), gossip.EncodePacket([]gossip.Digest{d})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGossipRelaxesProbing pins the back-off policy: only fresh gossip
+// unanimously agreeing with the local view (alive, ready, breaker closed,
+// undrained) defers probes; any disagreement restores full cadence, and a
+// fresh alive-but-not-ready digest proactively drains the backend locally.
+func TestGossipRelaxesProbing(t *testing.T) {
+	target := deadURL(t)
+	rt := newTestRouter(t, Config{
+		Backends:      []string{target},
+		GossipSelf:    "http://router-under-test",
+		ProbeInterval: time.Hour, // see TestProbePhaseJitter: no probe fires
+	})
+	b := rt.backends[target]
+
+	// No evidence at all: full cadence.
+	if rt.gossipRelaxes(b) {
+		t.Fatal("relaxed with no gossip evidence")
+	}
+
+	// Fresh agreeing evidence: relax.
+	seedGossip(t, rt, gossip.Digest{
+		Node: target, Incarnation: 1, Seq: 1,
+		State: gossip.Alive, Role: gossip.RoleBackend, Ready: true,
+	})
+	if !rt.gossipRelaxes(b) {
+		t.Fatal("fresh agreeing evidence did not relax probing")
+	}
+
+	// Local disagreement (drained backend): full cadence despite good gossip.
+	b.setDrained(true)
+	if rt.gossipRelaxes(b) {
+		t.Fatal("relaxed while the local view disagrees (drained)")
+	}
+	b.setDrained(false)
+
+	// Fresh evidence of trouble: never relax, and a not-ready digest is
+	// relayed into the local drain flag.
+	seedGossip(t, rt, gossip.Digest{
+		Node: target, Incarnation: 1, Seq: 2,
+		State: gossip.Alive, Role: gossip.RoleBackend, Ready: false, Reason: "draining",
+	})
+	if rt.gossipRelaxes(b) {
+		t.Fatal("relaxed on a not-ready digest")
+	}
+	b.mu.Lock()
+	drained := b.drained
+	b.mu.Unlock()
+	if !drained {
+		t.Fatal("fresh not-ready digest was not relayed into the local drain flag")
+	}
+	if rt.counters()["gossip.drain_relay"] == 0 {
+		t.Error("drain relay not counted")
+	}
+
+	// Suspect members never defer probes.
+	seedGossip(t, rt, gossip.Digest{
+		Node: target, Incarnation: 1, Seq: 3,
+		State: gossip.Suspect, Role: gossip.RoleBackend, Ready: true,
+	})
+	b.setDrained(false)
+	if rt.gossipRelaxes(b) {
+		t.Fatal("relaxed on a suspect member")
+	}
+}
+
+// TestFleetBrownoutLevels drives the fleet estimator directly with merged
+// digests: pressure above high water raises immediately, recovery needs the
+// cooldown, and dead members drop out of the estimate.
+func TestFleetBrownoutLevels(t *testing.T) {
+	rt := newTestRouter(t, Config{
+		Backends:      []string{deadURL(t), deadURL(t)},
+		GossipSelf:    "http://router-under-test",
+		FleetBrownout: true,
+		FleetCooldown: 2,
+	})
+	interval := 200 * time.Millisecond
+
+	calm := func(node string, seq uint64) gossip.Digest {
+		return gossip.Digest{Node: node, Incarnation: 1, Seq: seq,
+			State: gossip.Alive, Role: gossip.RoleBackend, Ready: true, QueueUtil: 0.1}
+	}
+	hot := func(node string, seq uint64) gossip.Digest {
+		return gossip.Digest{Node: node, Incarnation: 1, Seq: seq,
+			State: gossip.Alive, Role: gossip.RoleBackend, Ready: true, QueueUtil: 0.95, Tier: 2}
+	}
+
+	seedGossip(t, rt, calm("b1", 1))
+	seedGossip(t, rt, calm("b2", 1))
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 0 {
+		t.Fatalf("calm fleet at level %d", got)
+	}
+
+	// One hot backend of two: mean pressure ~0.53, below the 0.7 default.
+	seedGossip(t, rt, hot("b1", 2))
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 0 {
+		t.Fatalf("half-hot fleet at level %d, want 0", got)
+	}
+
+	// Both hot: raise immediately, straight past level 1 to 2 (≥ 0.85).
+	seedGossip(t, rt, hot("b2", 2))
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 2 {
+		t.Fatalf("saturated fleet at level %d, want 2", got)
+	}
+
+	// Router digests must not dilute the estimate.
+	seedGossip(t, rt, gossip.Digest{Node: "r2", Incarnation: 1, Seq: 1,
+		State: gossip.Alive, Role: gossip.RoleRouter, Ready: true, QueueUtil: 0})
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 2 {
+		t.Fatalf("an idle router digest lowered the fleet level to %d", got)
+	}
+
+	// Recovery: calm samples lower one level per cooldown, not instantly.
+	seedGossip(t, rt, calm("b1", 3))
+	seedGossip(t, rt, calm("b2", 3))
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 2 {
+		t.Fatalf("level dropped without cooldown: %d", got)
+	}
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 1 {
+		t.Fatalf("level after first cooldown = %d, want 1", got)
+	}
+	rt.fleetSample(interval)
+	rt.fleetSample(interval)
+	if got := rt.fleetLevel(); got != 0 {
+		t.Fatalf("level after second cooldown = %d, want 0", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"runtime/debug"
 	"strconv"
 
+	"merlin/internal/gossip"
 	"merlin/internal/qos"
 	"merlin/internal/service"
 	"merlin/internal/trace"
@@ -48,6 +49,9 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", rt.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	if rt.gossip != nil {
+		mux.HandleFunc("POST "+gossip.GossipPath, gossip.Handler(rt.gossip))
+	}
 	return rt.recoverWare(mux)
 }
 
@@ -134,23 +138,21 @@ func (rt *Router) admit(w http.ResponseWriter, r *http.Request, ctx context.Cont
 	switch d {
 	case qos.Admit:
 		rt.inc("qos.admitted")
+		if degradable && rt.fleetLevel() > 0 {
+			// Fleet brownout: the tenant is within its own budget, but the
+			// fleet as a whole is pressured — forward with the degradation
+			// ladder enabled so backends may serve cheaper tiers. The
+			// response stays truthful: the backend annotates the tier it
+			// actually served.
+			rt.inc("fleet.degraded")
+			body = stampDegraded(body, reqRoute, reqBatch)
+		}
 		return body, release, true
 	case qos.AdmitDegraded:
 		rt.inc("qos.degraded")
 		// Re-marshal with the degradation ladder enabled: the tenant is over
 		// its primary rate, so it gets a cheaper tier instead of a 429.
-		if reqRoute != nil {
-			reqRoute.AllowDegraded = true
-			if nb, err := json.Marshal(reqRoute); err == nil {
-				body = nb
-			}
-		} else if reqBatch != nil {
-			reqBatch.AllowDegraded = true
-			if nb, err := json.Marshal(reqBatch); err == nil {
-				body = nb
-			}
-		}
-		return body, release, true
+		return stampDegraded(body, reqRoute, reqBatch), release, true
 	case qos.DenyConcurrency:
 		rt.inc("qos.denied_concurrency")
 		writeError(w, http.StatusTooManyRequests, "tenant_concurrency",
@@ -164,6 +166,24 @@ func (rt *Router) admit(w http.ResponseWriter, r *http.Request, ctx context.Cont
 			int(retryAfter.Seconds())+1)
 		return nil, nil, false
 	}
+}
+
+// stampDegraded re-marshals the parsed request with allow_degraded set.
+// On any marshal surprise the original body forwards unchanged — losing
+// the degradation hint is safe, corrupting the request is not.
+func stampDegraded(body []byte, reqRoute *service.RouteRequest, reqBatch *service.BatchRequest) []byte {
+	if reqRoute != nil {
+		reqRoute.AllowDegraded = true
+		if nb, err := json.Marshal(reqRoute); err == nil {
+			return nb
+		}
+	} else if reqBatch != nil {
+		reqBatch.AllowDegraded = true
+		if nb, err := json.Marshal(reqBatch); err == nil {
+			return nb
+		}
+	}
+	return body
 }
 
 func tenantLabel(t string) string {

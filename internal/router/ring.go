@@ -1,6 +1,8 @@
 package router
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -68,6 +70,37 @@ func newRing(backends []string, replicas int) (*ring, error) {
 	})
 	return r, nil
 }
+
+// Ring exposes the consistent-hash ring to layers below the router.
+// cmd/merlind builds one over the same backend URLs and vnode count as the
+// routers and injects it into the journal replicator as its placement
+// function — every node then computes the same replica set for a key with
+// no coordination, and the dependency arrow keeps pointing router→service,
+// never back.
+type Ring struct{ r *ring }
+
+// NewRing builds an exported ring; replicas ≤ 0 takes the default 64.
+func NewRing(backends []string, replicas int) (*Ring, error) {
+	r, err := newRing(backends, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{r: r}, nil
+}
+
+// Pick returns the distinct-backend preference order for a hashed key.
+func (r *Ring) Pick(key uint64) []string { return r.r.pick(key) }
+
+// PickString places a string key (e.g. a result-store key): sha256-hashed
+// to a ring position the same way shardKey hashes canon bytes, then walked
+// clockwise. Element 0 is the key's home, the rest its replica order.
+func (r *Ring) PickString(key string) []string {
+	sum := sha256.Sum256([]byte(key))
+	return r.r.pick(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// Backends lists the ring's distinct backends in construction order.
+func (r *Ring) Backends() []string { return append([]string(nil), r.r.backends...) }
 
 // pick returns every distinct backend in ring order starting at the key's
 // position: element 0 is the key's home, element 1 the first failover

@@ -37,6 +37,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"merlin/internal/faultinject"
+	"merlin/internal/gossip"
 	"merlin/internal/net"
 	"merlin/internal/qos"
 	"merlin/internal/service"
@@ -85,6 +87,30 @@ type Config struct {
 	// QoS configures per-tenant admission; see qos.Config for defaults.
 	QoS qos.Config
 
+	// GossipSelf, when non-empty, joins the router to the health gossip
+	// mesh under this name (its own base URL) and mounts POST /v1/gossip.
+	GossipSelf string
+	// GossipPeers seeds the mesh (typically the backend URLs — backends
+	// gossip too, so one live seed is enough to learn the rest).
+	GossipPeers []string
+	// GossipInterval is the gossip tick; default 200ms (see gossip.Config).
+	GossipInterval time.Duration
+
+	// FleetBrownout, when true (requires GossipSelf), aggregates gossiped
+	// backend pressure into a fleet load level: level ≥ 1 forwards even
+	// within-rate degradable requests with allow_degraded set and sheds
+	// bronze overdraft, level ≥ 2 sheds standard overdraft too — the fleet
+	// browns out together before any one backend saturates alone.
+	FleetBrownout bool
+	// FleetHighWater raises the fleet level when mean backend pressure
+	// (max of queue utilization and brownout-tier fraction) reaches it;
+	// default 0.7. FleetHighWater+FleetStep raises level 2.
+	FleetHighWater float64
+	// FleetLowWater lowers the level after FleetCooldown consecutive
+	// samples below it; defaults 0.3 and 5.
+	FleetLowWater float64
+	FleetCooldown int
+
 	// TraceRing is how many completed router traces are retained for
 	// GET /v1/trace/{id}; default 256, negative disables router tracing.
 	TraceRing int
@@ -123,6 +149,15 @@ func (c Config) withDefaults() Config {
 	if c.TraceRing == 0 {
 		c.TraceRing = 256
 	}
+	if c.FleetHighWater <= 0 {
+		c.FleetHighWater = 0.7
+	}
+	if c.FleetLowWater <= 0 {
+		c.FleetLowWater = 0.3
+	}
+	if c.FleetCooldown <= 0 {
+		c.FleetCooldown = 5
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -140,6 +175,8 @@ type Router struct {
 	adm      *qos.Controller
 	hc       *http.Client
 	traces   *trace.Collector // nil when TraceRing < 0
+	gossip   *gossip.Node     // nil when GossipSelf is empty
+	fleet    *fleetBrownout   // nil unless FleetBrownout
 
 	met struct {
 		mu sync.Mutex
@@ -191,12 +228,41 @@ func New(cfg Config) (*Router, error) {
 	if cfg.TraceRing >= 0 {
 		rt.traces = trace.NewCollector(cfg.TraceRing, 0, 1)
 	}
-	if cfg.ProbeInterval > 0 {
-		rt.probeWG.Add(1)
-		rt.goGuard("prober", func() {
-			defer rt.probeWG.Done()
-			rt.probeLoop()
+	if cfg.GossipSelf != "" {
+		gn, err := gossip.New(gossip.Config{
+			Self:      cfg.GossipSelf,
+			Role:      gossip.RoleRouter,
+			Peers:     cfg.GossipPeers,
+			Interval:  cfg.GossipInterval,
+			Transport: gossip.HTTPTransport(&http.Client{Timeout: 2 * time.Second}),
+			Seed:      cfg.Seed,
 		})
+		if err != nil {
+			return nil, err
+		}
+		rt.gossip = gn
+		gn.Start()
+	}
+	if cfg.FleetBrownout {
+		if rt.gossip == nil {
+			return nil, fmt.Errorf("router: FleetBrownout requires GossipSelf")
+		}
+		rt.fleet = newFleetBrownout(cfg)
+		rt.probeWG.Add(1)
+		rt.goGuard("fleet-brownout", func() {
+			defer rt.probeWG.Done()
+			rt.fleetLoop()
+		})
+	}
+	if cfg.ProbeInterval > 0 {
+		for _, id := range rt.order {
+			b := rt.backends[id]
+			rt.probeWG.Add(1)
+			rt.goGuard("prober "+id, func() {
+				defer rt.probeWG.Done()
+				rt.probeBackend(b)
+			})
+		}
 	}
 	return rt, nil
 }
@@ -206,6 +272,9 @@ func New(cfg Config) (*Router, error) {
 func (rt *Router) Close() {
 	rt.stopOnce.Do(func() { close(rt.stopProbe) })
 	rt.probeWG.Wait()
+	if rt.gossip != nil {
+		rt.gossip.Stop()
+	}
 	if rt.traces != nil {
 		rt.traces.Close()
 	}
@@ -243,32 +312,81 @@ func (rt *Router) counters() map[string]uint64 {
 
 // ---- health probing ----
 
-func (rt *Router) probeLoop() {
+// probeBackend is one backend's probe clock. Each backend gets its own
+// goroutine with a deterministic phase offset in [0, ProbeInterval) — N
+// routers each probing M backends used to fire N×M readyz requests on the
+// same 500ms edge; jittered per-(router, backend) clocks spread that herd
+// across the whole interval.
+//
+// Fresh gossip evidence relaxes the cadence further: while a peer's recent
+// digest agrees with our local view that the backend is alive and ready,
+// only every 4th tick actually probes — indirect evidence substitutes for
+// direct probes exactly when nothing is wrong, and full cadence resumes
+// the moment anything (gossip or local state) disagrees.
+func (rt *Router) probeBackend(b *backend) {
+	select {
+	case <-rt.stopProbe:
+		return
+	case <-time.After(rt.probePhase(b.id)):
+	}
 	t := time.NewTicker(rt.cfg.ProbeInterval)
 	defer t.Stop()
+	skips := 0
 	for {
 		select {
 		case <-rt.stopProbe:
 			return
 		case <-t.C:
-			rt.probeAll()
+			if rt.gossipRelaxes(b) && skips < probeRelax-1 {
+				skips++
+				rt.inc("probes.deferred")
+				continue
+			}
+			skips = 0
+			rt.probe(b)
 		}
 	}
 }
 
-// probeAll probes every backend concurrently (a hung backend must not delay
-// its siblings' probes) and waits for the round to finish.
-func (rt *Router) probeAll() {
-	var wg sync.WaitGroup
-	for _, id := range rt.order {
-		b := rt.backends[id]
-		wg.Add(1)
-		rt.goGuard("probe "+id, func() {
-			defer wg.Done()
-			rt.probe(b)
-		})
+// probeRelax is the cadence stretch under fresh agreeing gossip: probe
+// every Nth tick instead of every tick.
+const probeRelax = 4
+
+// probePhase is the deterministic jitter offset for one backend's probe
+// clock: a hash of (seed, backend) spread over [0, ProbeInterval).
+func (rt *Router) probePhase(id string) time.Duration {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", rt.cfg.Seed, id)
+	return time.Duration(h.Sum64() % uint64(rt.cfg.ProbeInterval))
+}
+
+// gossipRelaxes reports whether fresh gossip evidence lets this probe round
+// be skipped. Only unanimously good news relaxes: the gossiped digest says
+// alive and ready, the evidence advanced within the last two intervals, and
+// our own breaker agrees (closed, undrained). Fresh evidence of *trouble*
+// never defers a probe — and a fresh not-ready digest proactively drains
+// the backend locally (cheap one-way relay; the probe that follows at full
+// cadence is what undrains it).
+func (rt *Router) gossipRelaxes(b *backend) bool {
+	if rt.gossip == nil {
+		return false
 	}
-	wg.Wait()
+	ev, ok := rt.gossip.Evidence(b.id)
+	if !ok || ev.Age > 2*rt.cfg.ProbeInterval {
+		return false
+	}
+	if ev.Digest.State == gossip.Alive && !ev.Digest.Ready {
+		b.setDrained(true)
+		rt.inc("gossip.drain_relay")
+		return false
+	}
+	if ev.Digest.State != gossip.Alive {
+		return false
+	}
+	b.mu.Lock()
+	agree := b.state == stateClosed && !b.drained
+	b.mu.Unlock()
+	return agree
 }
 
 // probe asks one backend's /v1/readyz. 200 → undrain + breaker success;
@@ -459,6 +577,10 @@ type Stats struct {
 	TenantsEvicted uint64                     `json:"tenants_evicted"`
 	// Trace reports the router's own trace collector, when enabled.
 	Trace *trace.CollectorStats `json:"trace,omitempty"`
+	// Gossip reports the membership view, when the router gossips.
+	Gossip *gossip.Stats `json:"gossip,omitempty"`
+	// Fleet reports the fleet brownout controller, when enabled.
+	Fleet *FleetStats `json:"fleet,omitempty"`
 }
 
 // Stats snapshots the router.
@@ -481,6 +603,14 @@ func (rt *Router) Stats() Stats {
 	if rt.traces != nil {
 		c := rt.traces.Stats()
 		st.Trace = &c
+	}
+	if rt.gossip != nil {
+		g := rt.gossip.Stats()
+		st.Gossip = &g
+	}
+	if rt.fleet != nil {
+		f := rt.fleet.stats()
+		st.Fleet = &f
 	}
 	return st
 }

@@ -135,7 +135,7 @@ func TestCrashRecovery(t *testing.T) {
 			t.Errorf("job ID %s acknowledged twice", a.id)
 		}
 		seen[a.id] = true
-		got, err := s.JobStatus(a.id)
+		got, err := s.JobStatus(context.Background(), a.id)
 		if err != nil || got.Result == nil || got.Result.Tree == nil {
 			t.Errorf("job %s: no checksum-verified result after recovery: %+v, %v", a.id, got, err)
 		}

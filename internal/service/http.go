@@ -14,6 +14,7 @@ import (
 
 	"merlin/internal/core"
 	"merlin/internal/faultinject"
+	"merlin/internal/gossip"
 )
 
 // maxBodyBytes bounds request bodies; a 64-sink net with knobs is ~10 KB, so
@@ -34,6 +35,9 @@ const maxBodyBytes = 8 << 20
 //	GET  /v1/readyz    readiness; 503 while draining or when the WAL cannot
 //	                   acknowledge jobs (routers eject backends on this)
 //	GET  /v1/stats     metrics snapshot
+//	POST /v1/gossip    SWIM-style push-pull digest exchange (gossiping nodes)
+//	POST /v1/replica/{key}  receive one replicated result (durable nodes)
+//	GET  /v1/replica/{key}  serve one stored result to a warming peer
 //
 // Every route is wrapped in a recover middleware: a handler panic fails that
 // request with a structured 500 (code "internal") and leaves the server up.
@@ -56,6 +60,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.gossip != nil {
+		mux.HandleFunc("POST "+gossip.GossipPath, gossip.Handler(s.gossip))
+	}
+	if s.store != nil {
+		mux.HandleFunc("POST /v1/replica/{key}", s.handleReplicaPut)
+		mux.HandleFunc("GET /v1/replica/{key}", s.handleReplicaGet)
+	}
 	return s.recoverWare(tenantWare(mux))
 }
 
@@ -215,7 +226,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 // (checksum-verified) result inline.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	s.met.inc("requests.jobs.get")
-	st, err := s.JobStatus(r.PathValue("id"))
+	st, err := s.JobStatus(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeError(w, err)
 		return

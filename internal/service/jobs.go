@@ -86,6 +86,10 @@ type JobStatus struct {
 	// Recovered marks a job that was re-enqueued by crash recovery rather
 	// than submitted to this process.
 	Recovered bool `json:"recovered,omitempty"`
+	// Replica marks a job this node only holds a replicated result for (it
+	// was computed elsewhere): the result serves, but this node cannot
+	// recompute it — it never saw the request.
+	Replica bool `json:"replica,omitempty"`
 }
 
 // jobEntry is the in-memory record of one job. All fields are guarded by
@@ -101,6 +105,7 @@ type jobEntry struct {
 	errMsg    string
 	code      string
 	recovered bool
+	replica   bool     // result replicated here, request unknown (req == nil)
 	aliases   []string // extra IDs mapped here by replay-time idem dedupe
 }
 
@@ -114,6 +119,7 @@ func (e *jobEntry) statusLocked() *JobStatus {
 		Error:          e.errMsg,
 		Code:           e.code,
 		Recovered:      e.recovered,
+		Replica:        e.replica,
 	}
 }
 
@@ -365,12 +371,15 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	// Persist the result before the terminal record points at it: a crash
 	// between the two re-runs the job (at-least-once), never dangles a key.
 	resultKey := s.jobResultKey(req, resp)
+	var persisted []byte
 	if s.store != nil && resultKey != "" {
 		if b, merr := json.Marshal(resp); merr == nil {
 			if perr := s.store.Put(resultKey, b); perr != nil {
 				s.met.inc("store.write_errors")
 				log.Printf("service: job %s result not persisted: %v", e.id, perr)
 				resultKey = ""
+			} else {
+				persisted = b
 			}
 		} else {
 			resultKey = ""
@@ -379,6 +388,11 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	state := JobDone
 	if resp.Degraded {
 		state = JobDegraded
+	}
+	if s.repl != nil && persisted != nil {
+		// Replicate only what actually landed on local disk — a replica of a
+		// result we couldn't persist would claim durability we don't have.
+		s.repl.Enqueue(resultKey, persisted, e.id, string(state))
 	}
 	rec := walRecord{T: "done", ID: e.id, State: string(state), Key: resultKey}
 	s.finishJobWithResult(e, rec, state, resultKey, resp)
@@ -462,6 +476,12 @@ func (s *Server) snapshotLocked() {
 		if !ok {
 			continue
 		}
+		if e.replica {
+			// Replica entries are soft state: the authoritative WAL record
+			// lives on the node that computed the job. Journaling hearsay
+			// would make this node claim jobs it cannot recompute.
+			continue
+		}
 		snap.Jobs = append(snap.Jobs, walJob{
 			ID: e.id, Idem: e.idem, FP: e.fp, State: string(e.state),
 			Req: e.req, Key: e.resultKey, Error: e.errMsg, Code: e.code,
@@ -485,7 +505,7 @@ func (s *Server) snapshotLocked() {
 // are checksum-verified on every read; an entry that fails verification is
 // quarantined and the job is transparently re-enqueued for recomputation —
 // the caller sees a truthful non-terminal state, never corrupt bytes.
-func (s *Server) JobStatus(id string) (*JobStatus, error) {
+func (s *Server) JobStatus(ctx context.Context, id string) (*JobStatus, error) {
 	s.jobsMu.Lock()
 	e, ok := s.jobsByID[id]
 	if !ok {
@@ -493,7 +513,7 @@ func (s *Server) JobStatus(id string) (*JobStatus, error) {
 		return nil, fmt.Errorf("%w: %s", ErrJobNotFound, id)
 	}
 	st := e.statusLocked()
-	resultKey, result := e.resultKey, e.result
+	resultKey, result, replica := e.resultKey, e.result, e.replica
 	s.jobsMu.Unlock()
 
 	if st.State != string(JobDone) && st.State != string(JobDegraded) {
@@ -507,6 +527,20 @@ func (s *Server) JobStatus(id string) (*JobStatus, error) {
 		return st, nil
 	}
 	b, err := s.store.Get(resultKey)
+	if err != nil && s.repl != nil {
+		// Locally gone (or quarantined): before recomputing, ask the replica
+		// ring. A fetched copy is checksum-verified by the replicator and
+		// re-seeded into the local store with a plain Put — re-replicating a
+		// fetched copy would bounce entries around the ring forever.
+		if pb, peer, ferr := s.repl.Fetch(ctx, resultKey); ferr == nil {
+			if perr := s.store.PutCtx(ctx, resultKey, pb); perr != nil {
+				s.met.inc("store.write_errors")
+			}
+			s.met.inc("jobs.peer_warmed")
+			log.Printf("service: job %s result peer-warmed from %s", id, peer)
+			b, err = pb, nil
+		}
+	}
 	if err == nil {
 		var resp RouteResponse
 		if uerr := json.Unmarshal(b, &resp); uerr == nil {
@@ -515,6 +549,13 @@ func (s *Server) JobStatus(id string) (*JobStatus, error) {
 		}
 		// Undecodable despite a valid checksum: treat like corruption below.
 		_ = s.store.Delete(resultKey)
+	}
+	if replica {
+		// A replica entry has no request to re-run. With the local copy and
+		// every peer exhausted, the truthful answer is "not here" — the
+		// router's scatter treats a non-owner 404 as inconclusive and keeps
+		// asking the nodes that can recompute.
+		return nil, fmt.Errorf("%w: %s (replica lost)", ErrJobNotFound, id)
 	}
 	// The durable result is gone or was quarantined: recompute. The WAL
 	// accept record still holds the request, so the job simply runs again.
@@ -631,8 +672,9 @@ func (s *Server) applyWALRecord(payload []byte) {
 // miss, a checksum-verified entry from the disk store warms the cache and
 // serves — this is how a restart's empty cache re-warms from history. Tier
 // probing mirrors cacheLookup, best first. A corrupt entry is quarantined
-// inside the store and reads as a miss, so the request recomputes.
-func (s *Server) storeLookup(key string, fl flows.ID, floor degrade.Tier) (*RouteResponse, bool) {
+// inside the store and reads as a miss; with a replica ring configured the
+// probe then asks the ring (peer-warm) before giving up and recomputing.
+func (s *Server) storeLookup(ctx context.Context, key string, fl flows.ID, floor degrade.Tier) (*RouteResponse, bool) {
 	if s.store == nil {
 		return nil, false
 	}
@@ -646,6 +688,17 @@ func (s *Server) storeLookup(key string, fl flows.ID, floor degrade.Tier) (*Rout
 	for _, tier := range tiers {
 		tk := tieredKey(key, tier)
 		b, err := s.store.Get(tk)
+		if err != nil && s.repl != nil {
+			pb, _, ferr := s.repl.Fetch(ctx, tk)
+			if ferr != nil {
+				continue
+			}
+			s.met.inc("cache.peer_warms")
+			if perr := s.store.PutCtx(ctx, tk, pb); perr != nil {
+				s.met.inc("store.write_errors")
+			}
+			b, err = pb, nil
+		}
 		if err != nil {
 			continue
 		}
@@ -676,5 +729,9 @@ func (s *Server) persistResult(ctx context.Context, key string, resp *RouteRespo
 	if err != nil {
 		s.met.inc("store.write_errors")
 		log.Printf("service: result %s not persisted: %v", key, err)
+		return
+	}
+	if s.repl != nil {
+		s.repl.Enqueue(key, b, "", "")
 	}
 }

@@ -39,7 +39,7 @@ func waitTerminal(t *testing.T, s *Server, id string, within time.Duration) *Job
 	t.Helper()
 	deadline := time.Now().Add(within)
 	for {
-		st, err := s.JobStatus(id)
+		st, err := s.JobStatus(context.Background(), id)
 		if err != nil {
 			t.Fatalf("JobStatus(%s): %v", id, err)
 		}
@@ -167,7 +167,7 @@ func TestJobTableBounded(t *testing.T) {
 	if _, _, err := s.SubmitJob(context.Background(), &RouteRequest{Net: testNet(t, 6, 23)}, "c"); err != nil {
 		t.Fatalf("submission with an evictable terminal job: %v", err)
 	}
-	if _, err := s.JobStatus(st1.ID); err == nil {
+	if _, err := s.JobStatus(context.Background(), st1.ID); err == nil {
 		t.Error("evicted job still resolvable")
 	}
 }
@@ -193,7 +193,7 @@ func TestJobDurableRecovery(t *testing.T) {
 	if fin.State != string(JobDone) {
 		t.Fatalf("state = %s, want done", fin.State)
 	}
-	want, err := s.JobStatus(ack.ID)
+	want, err := s.JobStatus(context.Background(), ack.ID)
 	if err != nil || want.Result == nil {
 		t.Fatalf("result missing before restart: %+v, %v", want, err)
 	}
@@ -206,7 +206,7 @@ func TestJobDurableRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Shutdown(context.Background())
-	st, err := s2.JobStatus(ack.ID)
+	st, err := s2.JobStatus(context.Background(), ack.ID)
 	if err != nil {
 		t.Fatalf("job lost across restart: %v", err)
 	}
@@ -265,7 +265,7 @@ func TestJobDegradedTruthfulAfterRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Shutdown(context.Background())
-	st, err := s2.JobStatus(ack.ID)
+	st, err := s2.JobStatus(context.Background(), ack.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +306,7 @@ func TestJobCorruptResultRequeued(t *testing.T) {
 	s.jobsByID[ack.ID].result = nil
 	s.jobsMu.Unlock()
 	faultinject.Arm(faultinject.SiteStoreRead, faultinject.Fault{Mode: faultinject.ModeError})
-	st, err := s.JobStatus(ack.ID)
+	st, err := s.JobStatus(context.Background(), ack.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +318,7 @@ func TestJobCorruptResultRequeued(t *testing.T) {
 	if healed.State != string(JobDone) {
 		t.Fatalf("healed state = %s, want done", healed.State)
 	}
-	if got, err := s.JobStatus(ack.ID); err != nil || got.Result == nil {
+	if got, err := s.JobStatus(context.Background(), ack.ID); err != nil || got.Result == nil {
 		t.Fatalf("healed job has no result: %+v, %v", got, err)
 	}
 	if q := s.store.Stats().Quarantined; q == 0 {

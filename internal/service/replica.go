@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"merlin/internal/journal"
+)
+
+// This file is the receiving side of result replication (the pushing side is
+// internal/journal/replicate.go): ring successors POST full MRS1-framed
+// entries here, and peers that lost a result GET it back. The wire carries
+// the store's own checksummed framing in both directions, so a bit flipped
+// in transit is caught by exactly the discipline that catches a bit flipped
+// on disk — a corrupt push is rejected (422) and never stored, never
+// re-replicated; a corrupt disk entry reads as a 404, never serves.
+
+// maxReplicaBytes bounds a pushed entry; results are JSON RouteResponses,
+// comfortably under the request-body bound.
+const maxReplicaBytes = maxBodyBytes
+
+// handleReplicaPut stores one pushed replica. The entry is decoded (checksum
+// verified) before it is written: storing bytes we cannot verify would turn
+// this node into a corruption amplifier when a peer later warms from us.
+// When the push names a finished job (X-Merlin-Job-Id), a replica job entry
+// is registered so polls landing on this node serve the result directly.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.replica.put")
+	key, ok := replicaKey(w, r)
+	if !ok {
+		return
+	}
+	entry, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicaBytes))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	payload, ok := journal.DecodeEntry(entry)
+	if !ok {
+		s.met.inc("replica.rejected")
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorBody{
+			Error: "replica entry failed checksum verification",
+			Code:  "replica_corrupt",
+		})
+		return
+	}
+	if err := s.store.PutCtx(r.Context(), key, payload); err != nil {
+		s.met.inc("store.write_errors")
+		s.writeError(w, fmt.Errorf("%w: replica not stored: %v", ErrInternal, err))
+		return
+	}
+	s.met.inc("replica.received")
+	if id := r.Header.Get(journal.ReplicaJobHeader); id != "" {
+		s.registerReplicaJob(id, JobState(r.Header.Get(journal.ReplicaStateHeader)), key)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReplicaGet serves one stored entry back in MRS1 framing (re-encoded,
+// so the checksum covers this read, not a stale one). A missing or
+// quarantined entry is a plain 404 — the fetcher walks the rest of the ring.
+func (s *Server) handleReplicaGet(w http.ResponseWriter, r *http.Request) {
+	s.met.inc("requests.replica.get")
+	key, ok := replicaKey(w, r)
+	if !ok {
+		return
+	}
+	payload, err := s.store.Get(key)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorBody{Error: "replica not found", Code: "replica_not_found"})
+		return
+	}
+	s.met.inc("replica.served")
+	w.Header().Set("Content-Type", "application/x-merlin-result")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(journal.EncodeEntry(payload))
+}
+
+// replicaKey extracts and unescapes the store key from the path.
+func replicaKey(w http.ResponseWriter, r *http.Request) (string, bool) {
+	key, err := url.PathUnescape(r.PathValue("key"))
+	if err != nil || key == "" {
+		s := r.PathValue("key")
+		writeJSON(w, http.StatusBadRequest, ErrorBody{
+			Error: fmt.Sprintf("bad replica key %q", s),
+			Code:  "bad_request",
+		})
+		return "", false
+	}
+	return key, true
+}
+
+// registerReplicaJob indexes a replicated result under its job ID, so a poll
+// routed to this node serves from the replica instead of 404ing. The entry
+// is soft state — req is nil (this node never saw the request) and it is
+// skipped by WAL snapshots; if the job already exists locally (this node
+// computed it, or a later push for the same job) the authoritative entry
+// wins. A full table of live jobs silently skips registration: replica
+// bookkeeping must never evict or reject real work.
+func (s *Server) registerReplicaJob(id string, state JobState, key string) {
+	if state != JobDone && state != JobDegraded {
+		return
+	}
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if _, exists := s.jobsByID[id]; exists {
+		return
+	}
+	if _, err := s.evictForNewJobLocked(); err != nil {
+		return
+	}
+	e := &jobEntry{id: id, state: state, resultKey: key, replica: true}
+	s.registerJobLocked(e)
+	s.met.inc("replica.jobs_registered")
+}

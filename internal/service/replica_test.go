@@ -1,0 +1,221 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"merlin/internal/faultinject"
+	"merlin/internal/journal"
+)
+
+// lateHandler lets an httptest server exist (and thus have a URL) before
+// the service behind it is built — replica rings need every member's URL
+// up front.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// newReplicaPair builds two durable servers replicating to each other
+// (R=2 truncates to the one available peer) and returns them A, B.
+func newReplicaPair(t *testing.T) (*Server, *Server) {
+	t.Helper()
+	las := [2]*lateHandler{{}, {}}
+	urls := make([]string, 2)
+	for i := range las {
+		srv := httptest.NewServer(las[i])
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	ring := append([]string(nil), urls...)
+	servers := make([]*Server, 2)
+	for i := range servers {
+		s, err := NewDurable(Config{
+			Workers:     2,
+			JournalDir:  t.TempDir(),
+			GossipSelf:  urls[i],
+			ReplicaRing: func(string) []string { return ring },
+			ReplicaSelf: urls[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Shutdown(context.Background()) })
+		las[i].mu.Lock()
+		las[i].h = s.Handler()
+		las[i].mu.Unlock()
+		servers[i] = s
+	}
+	return servers[0], servers[1]
+}
+
+func waitCounter(t *testing.T, s *Server, name string, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if s.met.get(name) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("counter %s never moved", name)
+}
+
+func jobResultKeyOf(t *testing.T, s *Server, id string) string {
+	t.Helper()
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	e, ok := s.jobsByID[id]
+	if !ok || e.resultKey == "" {
+		t.Fatalf("job %s has no result key", id)
+	}
+	return e.resultKey
+}
+
+// TestReplicaPeerWarmServesLostResult is the availability path end to end:
+// a finished job's result replicates to the peer, the local copy is lost,
+// and the poll transparently serves from the replica — and the peer, having
+// registered a replica job entry, can answer polls for the job itself.
+func TestReplicaPeerWarmServesLostResult(t *testing.T) {
+	a, b := newReplicaPair(t)
+
+	req := &RouteRequest{Net: testNet(t, 6, 61)}
+	ack, _, err := a.SubmitJob(context.Background(), req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, a, ack.ID, 30*time.Second)
+	if fin.State != string(JobDone) || fin.Result == nil {
+		t.Fatalf("job finished %s, result %v", fin.State, fin.Result != nil)
+	}
+	waitCounter(t, b, "replica.received", 10*time.Second)
+
+	// The peer's replica job entry answers polls directly, marked truthfully.
+	bst, err := b.JobStatus(context.Background(), ack.ID)
+	if err != nil {
+		t.Fatalf("peer poll: %v", err)
+	}
+	if !bst.Replica || bst.State != string(JobDone) || bst.Result == nil {
+		t.Fatalf("peer replica status = %+v, want done replica with result", bst)
+	}
+	if bst.Result.DelayNS != fin.Result.DelayNS {
+		t.Fatalf("replica result delay %v != origin %v", bst.Result.DelayNS, fin.Result.DelayNS)
+	}
+
+	// Lose the local copy: the poll must peer-warm, not recompute.
+	key := jobResultKeyOf(t, a, ack.ID)
+	if err := a.store.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	st, err := a.JobStatus(context.Background(), ack.ID)
+	if err != nil {
+		t.Fatalf("poll after local loss: %v", err)
+	}
+	if st.State != string(JobDone) || st.Result == nil || st.Result.DelayNS != fin.Result.DelayNS {
+		t.Fatalf("peer-warmed poll = %+v, want the original done result", st)
+	}
+	if got := a.met.get("jobs.peer_warmed"); got != 1 {
+		t.Errorf("jobs.peer_warmed = %d, want 1", got)
+	}
+	if got := a.met.get("jobs.requeued"); got != 0 {
+		t.Errorf("jobs.requeued = %d, want 0 (replica made recompute unnecessary)", got)
+	}
+}
+
+// TestCorruptPeerWarmRecomputes is the satellite-3 discipline end to end: a
+// bit-flipped peer-warm response must be quarantined — counted, never
+// served, never re-replicated — and the job transparently recomputed from
+// its WAL request.
+func TestCorruptPeerWarmRecomputes(t *testing.T) {
+	defer faultinject.Reset()
+	a, b := newReplicaPair(t)
+
+	req := &RouteRequest{Net: testNet(t, 6, 62)}
+	ack, _, err := a.SubmitJob(context.Background(), req, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitTerminal(t, a, ack.ID, 30*time.Second)
+	waitCounter(t, b, "replica.received", 10*time.Second)
+
+	key := jobResultKeyOf(t, a, ack.ID)
+	if err := a.store.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	// Every peer-warm fetch arrives bit-flipped from here on.
+	faultinject.Arm(faultinject.SiteStorePeerWarm, faultinject.Fault{Mode: faultinject.ModeError})
+
+	st, err := a.JobStatus(context.Background(), ack.ID)
+	if err != nil {
+		t.Fatalf("poll under corrupt replicas: %v", err)
+	}
+	if st.Result != nil {
+		t.Fatal("corrupt replica bytes were served")
+	}
+	if st.State != string(JobQueued) && st.State != string(JobRunning) {
+		t.Fatalf("state = %s, want the job recomputing", st.State)
+	}
+	if got := a.met.get("jobs.requeued"); got != 1 {
+		t.Errorf("jobs.requeued = %d, want 1", got)
+	}
+	if a.repl.Stats().FetchCorrupt == 0 {
+		t.Error("corrupt fetch not counted")
+	}
+
+	faultinject.Reset()
+	re := waitTerminal(t, a, ack.ID, 30*time.Second)
+	if re.State != string(JobDone) || re.Result == nil || re.Result.DelayNS != fin.Result.DelayNS {
+		t.Fatalf("recomputed job = %+v, want the original done result", re)
+	}
+	// The quarantine never re-replicated corrupt bytes: the peer rejected
+	// nothing, and what it holds still verifies.
+	if got := b.met.get("replica.rejected"); got != 0 {
+		t.Errorf("peer rejected %d pushes; corrupt bytes must never be re-replicated", got)
+	}
+}
+
+// TestCorruptPushRejected pins the receiving side: a POSTed replica entry
+// that fails its checksum gets 422, is never stored, and never serves.
+func TestCorruptPushRejected(t *testing.T) {
+	_, b := newReplicaPair(t)
+	entry := journal.EncodeEntry([]byte(`{"result":"x"}`))
+	entry[len(entry)-1] ^= 0x01 // flip one payload bit
+
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/replica/somekey%7Cfull", "application/x-merlin-result", bytes.NewReader(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt push: status %d, want 422", resp.StatusCode)
+	}
+	if got := b.met.get("replica.rejected"); got != 1 {
+		t.Errorf("replica.rejected = %d, want 1", got)
+	}
+	get, err := http.Get(srv.URL + "/v1/replica/somekey%7Cfull")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected entry fetchable: status %d, want 404", get.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net/http"
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
@@ -16,6 +17,7 @@ import (
 	"merlin/internal/degrade"
 	"merlin/internal/faultinject"
 	"merlin/internal/flows"
+	"merlin/internal/gossip"
 	"merlin/internal/journal"
 	"merlin/internal/trace"
 )
@@ -104,6 +106,30 @@ type Config struct {
 	// (keep everything — retention is bounded by the ring either way; raise
 	// it when stream subscribers or trace serialization show up in profiles).
 	TraceSampleN int
+
+	// GossipSelf, when non-empty, joins this backend to the fleet health
+	// gossip mesh under this name (its own base URL), mounts POST
+	// /v1/gossip, and publishes liveness, readiness, queue utilization,
+	// brownout tier and store high-water digests every GossipInterval.
+	GossipSelf string
+	// GossipPeers seeds the mesh: typically the sibling backends and the
+	// routers (any one live seed is enough to learn the rest).
+	GossipPeers []string
+	// GossipInterval is the gossip tick; default per internal/gossip (200ms).
+	GossipInterval time.Duration
+
+	// ReplicaRing, when set (NewDurable only), enables result replication
+	// and peer-warming: it returns the preference-ordered backend URL list
+	// for a store key. cmd/merlind injects the router tier's consistent-hash
+	// ring (router.NewRing over the same backend list), so every node
+	// computes the same replica set without coordination; the dependency is
+	// injected because router imports service, never the reverse.
+	// ReplicaSelf must then name this backend's own URL.
+	ReplicaRing func(key string) []string
+	ReplicaSelf string
+	// ReplicaCount is how many ring successors receive a copy of each
+	// result; default 2.
+	ReplicaCount int
 
 	// onJobStart, when set (tests only), runs as a worker picks up a job —
 	// it lets shutdown and queue tests pin a job as provably in flight.
@@ -232,6 +258,10 @@ type Server struct {
 	// acknowledge jobs durably should stop receiving new work, not restart.
 	jourDown atomic.Bool
 
+	// Fleet participation (nil when not configured).
+	gossip *gossip.Node        // health gossip node (Config.GossipSelf)
+	repl   *journal.Replicator // result replication (Config.ReplicaRing)
+
 	jobsMu        sync.Mutex // guards the async job table below
 	jobsByID      map[string]*jobEntry
 	jobsByIdem    map[string]*jobEntry
@@ -288,6 +318,20 @@ func NewDurable(cfg Config) (*Server, error) {
 	}
 	s := newServer(cfg)
 	s.jour, s.store, s.audit = jour, store, audit
+	if cfg.ReplicaRing != nil {
+		repl, rerr := journal.NewReplicator(journal.ReplicatorConfig{
+			Self:     cfg.ReplicaSelf,
+			Ring:     cfg.ReplicaRing,
+			Replicas: cfg.ReplicaCount,
+		})
+		if rerr != nil {
+			_ = jour.Close()
+			_ = audit.Close()
+			return nil, fmt.Errorf("service: replication: %w", rerr)
+		}
+		s.repl = repl
+		repl.Start()
+	}
 	pending, err := s.recoverJobs()
 	if err != nil {
 		_ = jour.Close()
@@ -320,6 +364,22 @@ func newServer(cfg Config) *Server {
 	}
 	s.brown = newBrownout(cfg)
 	s.stopBrown = make(chan struct{})
+	if cfg.GossipSelf != "" {
+		gn, err := gossip.New(gossip.Config{
+			Self:      cfg.GossipSelf,
+			Role:      gossip.RoleBackend,
+			Peers:     cfg.GossipPeers,
+			Interval:  cfg.GossipInterval,
+			Transport: gossip.HTTPTransport(&http.Client{Timeout: 2 * time.Second}),
+		})
+		if err != nil {
+			// Unreachable with a non-empty Self, but a backend must serve
+			// even if the mesh cannot form.
+			log.Printf("service: gossip disabled: %v", err)
+		} else {
+			s.gossip = gn
+		}
+	}
 	return s
 }
 
@@ -332,6 +392,44 @@ func (s *Server) startWorkers() {
 	if s.cfg.BrownoutInterval > 0 {
 		s.goGuard("brownout", s.brownoutLoop)
 	}
+	if s.gossip != nil {
+		s.publishGossip() // first digest before the first tick
+		s.gossip.Start()
+		s.goGuard("gossip-publish", s.gossipPublishLoop)
+	}
+}
+
+// gossipPublishLoop refreshes the health payload the gossip node advertises.
+// The node bumps its seq every time it speaks; this loop just keeps the
+// payload current at the same cadence.
+func (s *Server) gossipPublishLoop() {
+	interval := s.cfg.GossipInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopBrown:
+			return
+		case <-t.C:
+			s.publishGossip()
+		}
+	}
+}
+
+// publishGossip snapshots this backend's health into its gossip digest:
+// readiness (with the truthful reason), queue utilization, the brownout
+// admission tier, and the result store's write high-water mark.
+func (s *Server) publishGossip() {
+	ready, reason := s.Ready()
+	util := float64(len(s.jobs)) / float64(s.cfg.QueueDepth)
+	var hw uint64
+	if s.store != nil {
+		hw = s.store.WriteCount()
+	}
+	s.gossip.SetLocal(ready, reason, util, uint32(s.brown.tier()), hw)
 }
 
 // Route runs one request through the cache and the pool. It blocks until the
@@ -402,7 +500,7 @@ func (s *Server) routeTraced(ctx context.Context, req *RouteRequest) (*RouteResp
 		}
 		// LRU miss: a checksum-verified entry in the persistent store (a
 		// previous process's work) serves and re-warms the cache.
-		if v, ok := s.storeLookup(key, fl, floor); ok {
+		if v, ok := s.storeLookup(ctx, key, fl, floor); ok {
 			s.met.inc("cache.store_warms")
 			csp.SetAttr("result", "store_warm")
 			csp.End()
@@ -569,6 +667,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	if s.gossip != nil {
+		// The publish loop is about to stop; push one last truthful digest so
+		// remaining gossip rounds advertise the drain to the fleet.
+		s.publishGossip()
+	}
 	s.stopOnce.Do(func() { close(s.stopBrown) })
 	drained := make(chan struct{})
 	s.goGuard("drain", func() {
@@ -582,6 +685,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closeJobs.Do(func() { close(s.jobs) })
 	s.workers.Wait()
+	if s.repl != nil {
+		s.repl.Stop()
+	}
+	if s.gossip != nil {
+		s.gossip.Stop()
+	}
 	// Async runners have either finished or parked their jobs back to queued
 	// (the WAL carries those to the next boot). Wait for them, write a final
 	// snapshot so the next boot replays one record instead of the whole log,
@@ -775,6 +884,9 @@ type Stats struct {
 	// Durability reports the WAL, the result store and crash recovery;
 	// present only on servers created with NewDurable.
 	Durability *DurabilityStats `json:"durability,omitempty"`
+	// Gossip reports fleet membership as this node sees it; absent when the
+	// node is not gossiping.
+	Gossip *gossip.Stats `json:"gossip,omitempty"`
 }
 
 // DurabilityStats is the /v1/stats durability section.
@@ -797,6 +909,9 @@ type DurabilityStats struct {
 	ReplayCorruptSegments int   `json:"replay_corrupt_segments"`
 	// JobsTracked is the async job table's current size.
 	JobsTracked int `json:"jobs_tracked"`
+	// Replication reports the async replica push/fetch machinery; absent
+	// when no replica ring is configured.
+	Replication *journal.ReplicationStats `json:"replication,omitempty"`
 }
 
 // BrownoutStats reports the overload controller on /v1/stats.
@@ -861,6 +976,10 @@ func (s *Server) Stats() Stats {
 			ReplayCorruptSegments: rs.CorruptSegments,
 			JobsTracked:           tracked,
 		}
+		if s.repl != nil {
+			r := s.repl.Stats()
+			dur.Replication = &r
+		}
 	}
 	var tcs *trace.CollectorStats
 	if s.traces != nil {
@@ -890,5 +1009,15 @@ func (s *Server) Stats() Stats {
 		},
 		Trace:      tcs,
 		Durability: dur,
+		Gossip:     gossipStats(s.gossip),
 	}
+}
+
+// gossipStats is nil-safe: a non-gossiping node simply omits the section.
+func gossipStats(n *gossip.Node) *gossip.Stats {
+	if n == nil {
+		return nil
+	}
+	st := n.Stats()
+	return &st
 }
