@@ -1,17 +1,19 @@
 # Tier-1 verify is: make build test lint race chaos fuzz invariants crash
-# cluster-chaos partition-chaos (build + full test suite, static analysis —
-# go vet then the project's own merlinlint rule suite — the race detector over
-# the concurrent packages, the fault-injection chaos storm, short runs of the
-# fuzz targets, the DP packages rebuilt and retested with the merlin_invariants
-# assertion layer, the SIGKILL crash-recovery drill over the durable-jobs
-# journal, the router kill/restart cluster drill, and the gossip/replication
-# partition drill over a 5-node fleet).
+# cluster-chaos partition-chaos failover-chaos (build + full test suite,
+# static analysis — go vet then the project's own merlinlint rule suite — the
+# race detector over the concurrent packages, the fault-injection chaos storm,
+# short runs of the fuzz targets, the DP packages rebuilt and retested with
+# the merlin_invariants assertion layer, the SIGKILL crash-recovery drill over
+# the durable-jobs journal, the router kill/restart cluster drill, the
+# gossip/replication partition drill over a 5-node fleet, and the job-failover
+# drill where a SIGKILLed backend's acked jobs are claimed and finished by
+# ring successors with fencing asserted from the journals).
 
 GO ?= go
 # How long each fuzz target runs under `make fuzz`; raise for deeper soaks.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint invariants chaos fuzz crash cluster-chaos partition-chaos verify bench bench-tables
+.PHONY: all build test race vet lint invariants chaos fuzz crash cluster-chaos partition-chaos failover-chaos verify bench bench-tables
 
 all: build
 
@@ -27,10 +29,11 @@ test:
 # contract. Full-repo -race is accurate too but slow; these packages are
 # where concurrency actually lives. TestChaos* is skipped here because the
 # chaos target runs the storms on their own, and TestClusterChaos /
-# TestPartitionChaos because the cluster-chaos and partition-chaos targets
-# run those drills on their own.
+# TestPartitionChaos / TestFailoverChaos / TestFencingSplitBrain because the
+# cluster-chaos, partition-chaos and failover-chaos targets run those drills
+# on their own.
 race:
-	$(GO) test -race -skip 'TestChaos|TestCrashRecovery|TestClusterChaos|TestPartitionChaos' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./internal/router/... ./internal/qos/... ./internal/gossip/... ./pkg/client/... ./cmd/merlind/... ./cmd/merlintop/...
+	$(GO) test -race -skip 'TestChaos|TestCrashRecovery|TestClusterChaos|TestPartitionChaos|TestFailoverChaos|TestFencingSplitBrain' ./internal/service/... ./internal/degrade/... ./internal/journal/... ./internal/trace/... ./internal/router/... ./internal/qos/... ./internal/gossip/... ./pkg/client/... ./cmd/merlind/... ./cmd/merlintop/...
 	$(GO) test -race -run TestEnginePerGoroutine ./internal/core/
 
 # The fault-injection storms: 240 concurrent good/bad/huge/degradable
@@ -81,6 +84,18 @@ cluster-chaos:
 partition-chaos:
 	$(GO) test -race -run 'TestPartitionChaos$$' ./internal/router/
 
+# The job-failover drill: three re-exec'd durable backends behind a router;
+# one backend is SIGKILLed (never restarted) while holding acknowledged jobs.
+# Every acked job must reach a truthful terminal state through the router via
+# journaled lease takeover — and post-mortem journal inspection must show no
+# two nodes acknowledged the same job at the same term. The companion
+# split-brain drill SIGSTOPs an owner mid-job, lets a successor claim and
+# finish it, then resumes the stale owner: its write must be fenced and the
+# poll must keep serving the claimant's result. Run under the race detector;
+# see internal/router/failover_chaos_test.go.
+failover-chaos:
+	$(GO) test -race -run 'TestFailoverChaos$$|TestFencingSplitBrain$$' ./internal/router/
+
 vet:
 	$(GO) vet ./...
 
@@ -108,7 +123,7 @@ lint: vet
 invariants:
 	$(GO) test -tags merlin_invariants ./internal/core/... ./internal/curve/... ./internal/tree/... ./internal/degrade/... ./internal/journal/...
 
-verify: build test lint race chaos fuzz invariants crash cluster-chaos partition-chaos
+verify: build test lint race chaos fuzz invariants crash cluster-chaos partition-chaos failover-chaos
 
 # The performance baseline: merlinbench runs the fixed benchmark set (core
 # construct, trace span price disabled/enabled, service batch with tracing
@@ -118,7 +133,7 @@ verify: build test lint race chaos fuzz invariants crash cluster-chaos partition
 # a full merlinlint pass — so the lint budget's headroom is tracked alongside
 # the runtime numbers. Committed baselines make later "faster" claims a file
 # diff; BENCH_N is the PR number the baseline belongs to.
-BENCH_N ?= 9
+BENCH_N ?= 10
 bench:
 	$(GO) run ./cmd/merlinbench -out BENCH_$(BENCH_N).json
 	@cat BENCH_$(BENCH_N).json

@@ -31,6 +31,13 @@
 //   - replica_warm — peer-warming a result from a replica over the wire
 //     (HTTP fetch + MRS1 checksum verify) vs recomputing it from scratch:
 //     the latency gap that makes replicated result stores worth running.
+//   - takeover — a two-backend fleet with one backend SIGKILLed while
+//     holding acknowledged jobs: wall time from the kill to the survivor
+//     serving each orphan's terminal result (death detection + journaled
+//     claim + recompute, end to end).
+//   - checkpoint_resume — crash recovery over a WAL with only an accept
+//     record vs one that also checkpointed at a cheap ladder rung: what one
+//     checkpoint saves a successor over recomputing from the full tier.
 //   - lint_wall_ms — the wall time of one full merlinlint pass (whole-module
 //     type-check plus every rule), so the `make lint` 30s budget's headroom
 //     is tracked next to the runtime numbers.
@@ -135,10 +142,16 @@ type output struct {
 	RouterHop        routerHopResult        `json:"router_hop"`
 	Gossip           gossipBenchResult      `json:"gossip"`
 	ReplicaWarm      replicaBenchResult     `json:"replica_warm"`
+	Takeover         takeoverBenchResult    `json:"takeover"`
+	CkptResume       ckptResumeResult       `json:"checkpoint_resume"`
 	LintWallMS       int64                  `json:"lint_wall_ms"`
 }
 
 func main() {
+	if os.Getenv("MERLINBENCH_CHILD") == "backend" {
+		runChildBackend() // re-exec'd fleet member for the takeover benchmark
+		return
+	}
 	out := flag.String("out", "", "write JSON here (empty = stdout)")
 	quick := flag.Bool("quick", false, "shrink iteration counts for a fast smoke run")
 	flag.Parse()
@@ -311,6 +324,18 @@ func run(outPath string, quick bool) error {
 		return err
 	}
 	doc.ReplicaWarm = rw
+
+	tko, err := runTakeoverLatency(quick)
+	if err != nil {
+		return err
+	}
+	doc.Takeover = tko
+
+	cr, err := runCheckpointResume(quick)
+	if err != nil {
+		return err
+	}
+	doc.CkptResume = cr
 
 	lintMS, err := runLintPass()
 	if err != nil {

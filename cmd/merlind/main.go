@@ -12,6 +12,7 @@
 //	        [-trace-ring N] [-trace-slow 250ms] [-trace-sample N]
 //	        [-gossip http://self:8080] [-gossip-peers URL,...]
 //	        [-peers URL,...] [-replicas 2]
+//	        [-lease-ttl 3s] [-takeover-interval 500ms] [-max-wall-cap 0]
 //	merlind -smoke [-target http://host:port]
 //	merlind -audit-verify -journal-dir DIR
 //
@@ -39,6 +40,18 @@
 // back from a replica — checksum-verified — before recomputing. Requires
 // -journal-dir (there must be a store) and -gossip (the node must know its
 // own URL to exclude itself from the ring).
+//
+// Durable gossiping replicating nodes also fail over each other's jobs:
+// every acknowledged job carries a journaled lease (owner, monotone term),
+// its manifest is replicated to ring successors, and long solves checkpoint
+// ladder progress to the WAL. When gossip declares an owner dead, a successor
+// claims its orphaned jobs at a higher term and finishes them; a resurrected
+// stale owner's writes are fenced by term comparison. -lease-ttl is the
+// advisory expiry stamped on lease records (renewal is gossip liveness);
+// -takeover-interval is the orphan-sweep cadence (negative disables
+// takeover). -max-wall-cap puts a server-wide ceiling on per-request wall
+// budgets, including deadlines clients propagate via X-Merlin-Deadline-Ms
+// (0 = uncapped).
 //
 // -audit-verify walks the audit log's hash chain under -journal-dir instead
 // of serving: it prints a verification report and exits 0 when the chain is
@@ -111,6 +124,12 @@ func main() {
 			"comma-separated durable-backend URLs forming the result replication ring (requires -journal-dir and -gossip)")
 		replicaCount = flag.Int("replicas", 0,
 			"replica copies pushed per persisted result (0 = 2)")
+		leaseTTL = flag.Duration("lease-ttl", 0,
+			"advisory job-lease lifetime written to the WAL (0 = 3s)")
+		takeoverInterval = flag.Duration("takeover-interval", 0,
+			"orphaned-job takeover sweep cadence (0 = 500ms, negative disables takeover)")
+		maxWallCap = flag.Duration("max-wall-cap", 0,
+			"server-wide ceiling on per-request wall budgets, including X-Merlin-Deadline-Ms (0 = uncapped)")
 	)
 	flag.Parse()
 	cfg := service.Config{
@@ -129,6 +148,9 @@ func main() {
 		GossipSelf:       *gossipSelf,
 		GossipPeers:      splitURLs(*gossipPeers),
 		GossipInterval:   *gossipInterval,
+		LeaseTTL:         *leaseTTL,
+		TakeoverInterval: *takeoverInterval,
+		MaxWallCap:       *maxWallCap,
 	}
 	if err := wireReplication(&cfg, *peers, *replicaCount); err != nil {
 		fmt.Fprintln(os.Stderr, "merlind:", err)

@@ -253,4 +253,19 @@ const (
 	// replica), which the MRS1 checksum must catch — the fetch is discarded
 	// and the result recomputed, never served or re-replicated.
 	SiteStorePeerWarm = "store.peerwarm"
+	// SiteLeaseRenew fires before a node advertises its lease high-water mark
+	// in the gossip digest; an injected error skips only that round's lease
+	// advertisement (counted), and the leases themselves — journaled records —
+	// stay valid: renewal is cheap exactly because it can miss a beat.
+	SiteLeaseRenew = "lease.renew"
+	// SiteLeaseClaim fires before a successor journals a takeover claim for an
+	// orphaned job; an injected error abandons only that claim attempt — the
+	// next takeover sweep retries — and must never leave a claim record
+	// half-applied (journal append is the atomic commit point).
+	SiteLeaseClaim = "lease.claim"
+	// SiteJobCheckpoint fires before a running job appends a progress
+	// checkpoint record; an injected error loses only that checkpoint
+	// (counted) — the job keeps computing and a successor merely resumes from
+	// an older rung, trading work for correctness, never the reverse.
+	SiteJobCheckpoint = "job.checkpoint"
 )

@@ -205,6 +205,22 @@ func (n *Node) SetLocal(ready bool, reason string, queueUtil float64, tier uint3
 	n.payload.StoreHighWater = storeHighWater
 }
 
+// SetLocalLease updates the lease payload we advertise: the high-water lease
+// term this node has granted or claimed, and the takeover claims it stands
+// behind. Advertising at every tick is the lease renewal — fresh gossip
+// evidence of the node is what keeps its leases live. Claims are copied; the
+// caller keeps ownership of its slice.
+func (n *Node) SetLocalLease(leaseHighWater uint64, claims []Claim) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.payload.LeaseHighWater = leaseHighWater
+	if len(claims) == 0 {
+		n.payload.Claims = nil
+		return
+	}
+	n.payload.Claims = append([]Claim(nil), claims...)
+}
+
 func (n *Node) loop() {
 	tick := time.NewTicker(n.cfg.Interval)
 	defer tick.Stop()
@@ -467,6 +483,8 @@ type MemberStats struct {
 	QueueUtil      float64 `json:"queue_util"`
 	Tier           uint32  `json:"tier"`
 	StoreHighWater uint64  `json:"store_high_water"`
+	LeaseHighWater uint64  `json:"lease_high_water,omitempty"`
+	Claims         []Claim `json:"claims,omitempty"`
 	AgeMS          int64   `json:"age_ms"`
 }
 
@@ -518,6 +536,8 @@ func (n *Node) Stats() Stats {
 			QueueUtil:      m.Digest.QueueUtil,
 			Tier:           m.Digest.Tier,
 			StoreHighWater: m.Digest.StoreHighWater,
+			LeaseHighWater: m.Digest.LeaseHighWater,
+			Claims:         m.Digest.Claims,
 			AgeMS:          m.Age.Milliseconds(),
 		})
 	}

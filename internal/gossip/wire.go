@@ -9,7 +9,12 @@
 //
 //	u16 nodeLen | node | u64 incarnation | u64 seq | u8 state | u8 role |
 //	u8 ready | u16 reasonLen | reason | u64 Float64bits(queueUtil) |
-//	u32 tier | u64 storeHighWater
+//	u32 tier | u64 storeHighWater | u64 leaseHighWater |
+//	u16 claimCount | claimCount × ( u16 jobLen | job | u64 term )
+//
+// The lease fields are additive v1 growth (see below): decoders that predate
+// them see trailing bytes and ignore them; decoders that know them treat
+// their absence as zero.
 //
 // The per-digest (version, bodyLen) envelope is what keeps mixed-version
 // fleets safe: a decoder that doesn't know a digest's version skips exactly
@@ -88,8 +93,19 @@ type Digest struct {
 	Ready          bool
 	Reason         string // why not ready ("draining", "journal_unavailable", ...)
 	QueueUtil      float64
-	Tier           uint32 // brownout tier the node is admitting at
-	StoreHighWater uint64 // result-store write count (replication watermark)
+	Tier           uint32  // brownout tier the node is admitting at
+	StoreHighWater uint64  // result-store write count (replication watermark)
+	LeaseHighWater uint64  // highest lease term granted or claimed locally
+	Claims         []Claim // takeover claims this node is standing behind
+}
+
+// Claim advertises that the digest's node owns a job at a lease term. Fresh
+// gossip evidence of the claimant doubles as the lease renewal; routers use
+// claims to poll the live claimant instead of a dead owner, and backends use
+// them to learn fencing terms without reading each other's journals.
+type Claim struct {
+	Job  string
+	Term uint64
 }
 
 const (
@@ -99,6 +115,7 @@ const (
 	// not big.
 	maxDigests = 4096
 	maxStrLen  = 1024
+	maxClaims  = 64
 )
 
 var (
@@ -140,7 +157,18 @@ func appendDigestBody(b []byte, d Digest) []byte {
 	b = appendString(b, d.Reason)
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(d.QueueUtil))
 	b = binary.LittleEndian.AppendUint32(b, d.Tier)
-	return binary.LittleEndian.AppendUint64(b, d.StoreHighWater)
+	b = binary.LittleEndian.AppendUint64(b, d.StoreHighWater)
+	b = binary.LittleEndian.AppendUint64(b, d.LeaseHighWater)
+	claims := d.Claims
+	if len(claims) > maxClaims {
+		claims = claims[:maxClaims]
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(claims)))
+	for _, c := range claims {
+		b = appendString(b, c.Job)
+		b = binary.LittleEndian.AppendUint64(b, c.Term)
+	}
+	return b
 }
 
 func appendString(b []byte, s string) []byte {
@@ -225,6 +253,34 @@ func decodeDigestBody(b []byte) (Digest, error) {
 	d.QueueUtil = math.Float64frombits(binary.LittleEndian.Uint64(b))
 	d.Tier = binary.LittleEndian.Uint32(b[8:])
 	d.StoreHighWater = binary.LittleEndian.Uint64(b[12:])
+	b = b[20:]
+	// Lease fields were added after the first v1 ship; a body that ends here
+	// came from an older writer and means "no leases", not corruption.
+	if len(b) < 8 {
+		return d, nil
+	}
+	d.LeaseHighWater = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if len(b) < 2 {
+		return d, nil
+	}
+	nclaims := int(binary.LittleEndian.Uint16(b))
+	if nclaims > maxClaims {
+		return Digest{}, fmt.Errorf("%w: claim count %d exceeds cap %d", ErrWire, nclaims, maxClaims)
+	}
+	b = b[2:]
+	for i := 0; i < nclaims; i++ {
+		var c Claim
+		if c.Job, b, err = readString(b); err != nil {
+			return Digest{}, fmt.Errorf("%w: claim %d job: %v", ErrWire, i, err)
+		}
+		if len(b) < 8 {
+			return Digest{}, fmt.Errorf("%w: claim %d term truncated", ErrWire, i)
+		}
+		c.Term = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		d.Claims = append(d.Claims, c)
+	}
 	// Trailing bytes past the v1 fields are additive growth; ignore them.
 	return d, nil
 }

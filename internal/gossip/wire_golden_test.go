@@ -5,23 +5,27 @@ import (
 	"encoding/hex"
 	"hash/crc32"
 	"math"
+	"reflect"
 	"testing"
 )
 
 // goldenDigests cover the encoding's moving parts: both roles, every state,
-// empty and non-empty reasons, a non-trivial float bit pattern, and the
-// zero digest.
+// empty and non-empty reasons, a non-trivial float bit pattern, lease
+// high-water marks with and without takeover claims, and the zero digest.
 func goldenDigests() []Digest {
 	return []Digest{
 		{
 			Node: "http://b1:8080", Incarnation: 1, Seq: 42,
 			State: Alive, Role: RoleBackend, Ready: true,
 			QueueUtil: 0.25, Tier: 0, StoreHighWater: 7,
+			LeaseHighWater: 2,
+			Claims:         []Claim{{Job: "j-0000000000000001", Term: 2}},
 		},
 		{
 			Node: "http://b2:8080", Incarnation: 3, Seq: 0,
 			State: Suspect, Role: RoleBackend, Ready: false, Reason: "draining",
 			QueueUtil: 0.875, Tier: 3, StoreHighWater: 123456789,
+			LeaseHighWater: 1,
 		},
 		{
 			Node: "http://r1:8090", Incarnation: 2, Seq: 9,
@@ -29,6 +33,12 @@ func goldenDigests() []Digest {
 		},
 		{},
 	}
+}
+
+// digestEqual is the test-side equality for Digest, which carries a slice
+// field (Claims) and so cannot use ==.
+func digestEqual(a, b Digest) bool {
+	return reflect.DeepEqual(a, b)
 }
 
 // TestWireGoldenPacket pins gossip wire v1 byte-for-byte.
@@ -42,14 +52,16 @@ func goldenDigests() []Digest {
 // wireVersion, keep the v1 decoder intact for the transition, and only then
 // update the hex below.
 func TestWireGoldenPacket(t *testing.T) {
-	const want = "4d4750313b8115b404000139000e00687474703a2f2f62313a38303830010000" +
+	const want = "4d475031ffc6bdee0400015f000e00687474703a2f2f62313a38303830010000" +
 		"00000000002a000000000000000000010000000000000000d03f000000000700" +
-		"0000000000000141000e00687474703a2f2f62323a3830383003000000000000" +
-		"0000000000000000000100000800647261696e696e67000000000000ec3f0300" +
-		"000015cd5b07000000000139000e00687474703a2f2f72313a38303930020000" +
-		"0000000000090000000000000002010000000000000000000000000000000000" +
-		"000000000000012b000000000000000000000000000000000000000000000000" +
-		"0000000000000000000000000000000000000000"
+		"0000000000000200000000000000010012006a2d303030303030303030303030" +
+		"303030310200000000000000014b000e00687474703a2f2f62323a3830383003" +
+		"0000000000000000000000000000000100000800647261696e696e6700000000" +
+		"0000ec3f0300000015cd5b0700000000010000000000000000000143000e0068" +
+		"7474703a2f2f72313a3830393002000000000000000900000000000000020100" +
+		"0000000000000000000000000000000000000000000000000000000000000000" +
+		"0135000000000000000000000000000000000000000000000000000000000000" +
+		"000000000000000000000000000000000000000000000000"
 	got := hex.EncodeToString(EncodePacket(goldenDigests()))
 	if got != want {
 		t.Errorf("gossip wire v1 bytes changed\n  got:  %s\n  want: %s\n"+
@@ -74,7 +86,7 @@ func TestWireGoldenRoundTrip(t *testing.T) {
 		t.Fatalf("got %d digests, want %d", len(out), len(in))
 	}
 	for i := range in {
-		if out[i] != in[i] {
+		if !digestEqual(out[i], in[i]) {
 			t.Errorf("digest %d: got %+v, want %+v", i, out[i], in[i])
 		}
 	}
@@ -118,7 +130,7 @@ func TestWireUnknownVersionSkipped(t *testing.T) {
 	if skipped != 2 {
 		t.Errorf("skipped = %d, want 2", skipped)
 	}
-	if len(got) != 1 || got[0] != goldenDigests()[0] {
+	if len(got) != 1 || !digestEqual(got[0], goldenDigests()[0]) {
 		t.Errorf("known digest did not survive unknown neighbors: %+v", got)
 	}
 }
@@ -137,7 +149,7 @@ func TestWireTrailingBodyBytesIgnored(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DecodePacket: %v", err)
 	}
-	if len(got) != 1 || got[0] != want {
+	if len(got) != 1 || !digestEqual(got[0], want) {
 		t.Errorf("got %+v, want %+v", got, want)
 	}
 }

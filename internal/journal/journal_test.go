@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -421,5 +422,84 @@ func TestRecordSizeBounds(t *testing.T) {
 	}
 	if err := j.Append(make([]byte, MaxRecordSize+1)); err == nil {
 		t.Error("oversized record accepted")
+	}
+}
+
+// TestLeaseRecordsSurviveTornTail replays a WAL shaped like the service's
+// lease history — an accept (the term-1 grant), a checkpoint, and a claim at
+// term 2 — with a second claim torn mid-frame by a crash. The intact prefix
+// must replay in order so a successor reconstructs the lease at the highest
+// fully-journaled term; the torn claim must vanish, never yielding a
+// half-written term that would fence the wrong owner.
+func TestLeaseRecordsSurviveTornTail(t *testing.T) {
+	type lease struct {
+		T     string `json:"t"`
+		ID    string `json:"id"`
+		Owner string `json:"owner,omitempty"`
+		Term  uint64 `json:"term,omitempty"`
+		Rung  string `json:"rung,omitempty"`
+	}
+	dir := t.TempDir()
+	j, _, _ := openReplay(t, dir, Options{})
+	history := []lease{
+		{T: "accept", ID: "job-1", Owner: "node-a", Term: 1},
+		{T: "ckpt", ID: "job-1", Term: 1, Rung: "reduced"},
+		{T: "claim", ID: "job-1", Owner: "node-b", Term: 2},
+	}
+	for _, rec := range history {
+		p, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Crash mid-append of a claim at term 3: frame header promises the full
+	// record, disk holds half of it.
+	torn, err := json.Marshal(lease{T: "claim", ID: "job-1", Owner: "node-c", Term: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	frame := AppendFrame(nil, torn)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, got, stats := openReplay(t, dir, Options{})
+	defer j2.Close()
+	if len(got) != len(history) {
+		t.Fatalf("replayed %d lease records, want %d", len(got), len(history))
+	}
+	if stats.TruncatedBytes == 0 {
+		t.Error("torn claim not counted as truncated")
+	}
+	var term uint64
+	owner := ""
+	for i, p := range got {
+		var rec lease
+		if err := json.Unmarshal(p, &rec); err != nil {
+			t.Fatalf("record %d not valid JSON after torn-tail replay: %v", i, err)
+		}
+		if rec.Term < term {
+			t.Fatalf("record %d: term went backwards (%d after %d)", i, rec.Term, term)
+		}
+		if rec.T == "accept" || rec.T == "claim" {
+			term, owner = rec.Term, rec.Owner
+		}
+	}
+	if term != 2 || owner != "node-b" {
+		t.Fatalf("reconstructed lease = term %d owner %q, want term 2 owner node-b (torn term-3 claim must not count)", term, owner)
 	}
 }

@@ -45,6 +45,7 @@ type Replicator struct {
 	pushes        atomic.Uint64
 	pushFails     atomic.Uint64
 	pushRejected  atomic.Uint64
+	pushFenced    atomic.Uint64
 	dropped       atomic.Uint64
 	fetches       atomic.Uint64
 	fetchHits     atomic.Uint64
@@ -108,6 +109,7 @@ type repTask struct {
 	entry []byte // EncodeEntry bytes, checksummed at enqueue time
 	jobID string
 	state string
+	term  uint64 // lease term the sender holds for jobID (0 = no lease claim)
 }
 
 // ReplicaPath prefixes the replica push/fetch endpoint; the entry key
@@ -115,10 +117,14 @@ type repTask struct {
 const ReplicaPath = "/v1/replica/"
 
 // Headers carrying job identity alongside a replica push, so the receiver
-// can answer polls for the origin's jobs after the origin dies.
+// can answer polls for the origin's jobs after the origin dies. The term
+// header is the fencing token: a receiver that has seen a higher term for
+// the job refuses the push with 409, which is how a resurrected stale owner
+// loses to the successor that claimed its orphan.
 const (
 	ReplicaJobHeader   = "X-Merlin-Job-Id"
 	ReplicaStateHeader = "X-Merlin-Job-State"
+	ReplicaTermHeader  = "X-Merlin-Job-Term"
 )
 
 // entryContentType labels replica entries on the wire.
@@ -187,16 +193,28 @@ func (r *Replicator) Targets(key string) []string {
 // already durable, and backpressure here would put dead peers on the
 // serving path.
 func (r *Replicator) Enqueue(key string, payload []byte, jobID, state string) {
+	r.EnqueueJob(key, payload, jobID, state, 0)
+}
+
+// EnqueueJob is Enqueue carrying the sender's lease term for jobID as the
+// fencing token; term 0 means "no lease semantics" (plain result copy).
+func (r *Replicator) EnqueueJob(key string, payload []byte, jobID, state string, term uint64) {
 	if len(r.Targets(key)) == 0 {
 		return
 	}
-	t := repTask{key: key, entry: EncodeEntry(payload), jobID: jobID, state: state}
+	t := repTask{key: key, entry: EncodeEntry(payload), jobID: jobID, state: state, term: term}
 	select {
 	case r.queue <- t:
 		r.pending.Add(1)
 	default:
 		r.dropped.Add(1)
 	}
+}
+
+// Pending reports queued-or-in-flight pushes. Shutdown uses it for a bounded
+// courtesy drain before stopping the workers.
+func (r *Replicator) Pending() int64 {
+	return r.pending.Load()
 }
 
 func (r *Replicator) worker() {
@@ -227,6 +245,10 @@ func (r *Replicator) replicate(t repTask) {
 				r.pushRejected.Add(1)
 				break
 			}
+			if errors.Is(err, errFenced) {
+				r.pushFenced.Add(1)
+				break
+			}
 			if attempt+1 >= r.cfg.Attempts {
 				r.pushFails.Add(1)
 				break
@@ -244,6 +266,12 @@ func (r *Replicator) replicate(t repTask) {
 // errRejected marks a push the receiver refused after verifying the entry
 // corrupt — terminal, never retried.
 var errRejected = errors.New("journal: replica push rejected")
+
+// errFenced marks a push the receiver refused because it has seen a higher
+// lease term for the job — the sender lost its ownership while it computed.
+// Terminal by design: retrying a fenced write is exactly the split-brain
+// double-acknowledgement fencing exists to prevent.
+var errFenced = errors.New("journal: replica push fenced by higher lease term")
 
 func (r *Replicator) push(target string, t repTask) error {
 	ctx, sp := trace.StartSpan(context.Background(), "store.replicate")
@@ -264,6 +292,9 @@ func (r *Replicator) push(target string, t repTask) error {
 	if t.jobID != "" {
 		req.Header.Set(ReplicaJobHeader, t.jobID)
 		req.Header.Set(ReplicaStateHeader, t.state)
+		if t.term > 0 {
+			req.Header.Set(ReplicaTermHeader, fmt.Sprintf("%d", t.term))
+		}
 	}
 	resp, err := r.cfg.Client.Do(req)
 	if err != nil {
@@ -275,6 +306,8 @@ func (r *Replicator) push(target string, t repTask) error {
 	switch {
 	case resp.StatusCode == http.StatusUnprocessableEntity:
 		return errRejected
+	case resp.StatusCode == http.StatusConflict:
+		return errFenced
 	case resp.StatusCode >= 300:
 		return fmt.Errorf("journal: replica push to %s: status %d", target, resp.StatusCode)
 	}
@@ -342,6 +375,7 @@ type ReplicationStats struct {
 	Pushes       uint64 `json:"pushes"`
 	PushFailures uint64 `json:"push_failures"`
 	PushRejected uint64 `json:"push_rejected"`
+	PushFenced   uint64 `json:"push_fenced"`
 	Dropped      uint64 `json:"dropped"`
 	Fetches      uint64 `json:"fetches"`
 	FetchHits    uint64 `json:"fetch_hits"`
@@ -358,6 +392,7 @@ func (r *Replicator) Stats() ReplicationStats {
 		Pushes:       r.pushes.Load(),
 		PushFailures: r.pushFails.Load(),
 		PushRejected: r.pushRejected.Load(),
+		PushFenced:   r.pushFenced.Load(),
 		Dropped:      r.dropped.Load(),
 		Fetches:      r.fetches.Load(),
 		FetchHits:    r.fetchHits.Load(),

@@ -25,6 +25,9 @@ func fakeRegistry() *Registry {
 		"SiteGossipMerge":    "gossip.merge",
 		"SiteStoreReplicate": "store.replicate",
 		"SiteStorePeerWarm":  "store.peerwarm",
+		"SiteLeaseRenew":     "lease.renew",
+		"SiteLeaseClaim":     "lease.claim",
+		"SiteJobCheckpoint":  "job.checkpoint",
 	} {
 		reg.Consts[name] = val
 		reg.Values[val] = true
@@ -237,6 +240,9 @@ func TestLoadRegistry(t *testing.T) {
 		"SiteJournalFsync":   "journal.fsync",
 		"SiteJournalReplay":  "journal.replay",
 		"SiteStoreRead":      "store.read",
+		"SiteLeaseRenew":     "lease.renew",
+		"SiteLeaseClaim":     "lease.claim",
+		"SiteJobCheckpoint":  "job.checkpoint",
 	} {
 		if got := reg.Consts[name]; got != val {
 			t.Errorf("Consts[%s] = %q, want %q", name, got, val)

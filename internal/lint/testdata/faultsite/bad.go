@@ -13,4 +13,6 @@ func bad() {
 	_ = faultinject.Fire("router.forwrad")                       // want faultsite
 	_ = faultinject.Fire("gossip.sned")                          // want faultsite
 	faultinject.Arm("store.peerwam", faultinject.Fault{})        // want faultsite
+	_ = faultinject.Fire("lease.renwe")                          // want faultsite
+	_ = faultinject.Set("lease.claim=error,job.chekpoint=panic") // want faultsite
 }

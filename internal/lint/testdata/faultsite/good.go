@@ -28,4 +28,11 @@ func good(site string) {
 	faultinject.Arm("store.peerwarm", faultinject.Fault{})
 	_ = faultinject.Fire("store.replicate")
 	_ = faultinject.Set("gossip.send=error@0.3,store.replicate=delay:5ms")
+
+	// Lease and checkpoint sites (failover drills arm these to drop claims
+	// and lose progress records mid-takeover).
+	_ = faultinject.Fire(faultinject.SiteLeaseClaim)
+	_ = faultinject.Fire("lease.renew")
+	faultinject.Arm("job.checkpoint", faultinject.Fault{})
+	_ = faultinject.Set("lease.claim=error@0.5,job.checkpoint=error")
 }

@@ -349,12 +349,15 @@ func (rt *Router) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleJobGet proxies a poll. The owner (remembered at submit) is asked
-// first; a miss or an unknown owner scatters across the ring in order. A
-// 404 from a non-owner is inconclusive (the job lives elsewhere), so the
-// scatter keeps going; only when every reachable backend says 404 is the
-// 404 relayed. If the owner is unreachable and nobody else knows the job,
-// the truthful answer is a retryable 503 — the job is not lost, its owner
-// is restarting.
+// first; then, if gossip advertises a takeover claim for the job (the owner
+// died or drained and a ring successor claimed it), the claimant; then the
+// scatter across the ring in order. A 404 from a non-owner is inconclusive
+// (the job lives elsewhere), so the scatter keeps going; only when every
+// reachable backend says 404 is the 404 relayed. If the owner is unreachable
+// and nobody else knows the job, the truthful answer is a retryable 503 —
+// the job is not lost, its owner is restarting or its claimant is about to
+// advertise. Acked jobs therefore never 404 and never wait out a dead
+// owner's restart: the claimant answers as soon as gossip carries its claim.
 func (rt *Router) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	rt.inc("requests.jobs.get")
 	id := r.PathValue("id")
@@ -391,6 +394,23 @@ func (rt *Router) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			ownerUnreachable = true
 		}
 	}
+	if cid, ok := rt.claimantOf(id); ok && !tried[cid] {
+		if b, known := rt.backends[cid]; known && b.admissible(rt.cfg.now()) {
+			rt.inc("jobs.claimant_polls")
+			if br, _ := try(b); br != nil {
+				// The claimant is the job's home now; send future polls
+				// straight there.
+				rt.rememberOwner(id, cid)
+				relayBuffered(w, br)
+				return
+			}
+		}
+	}
+	// A non-owner's 200 can be a stale replicated copy — "queued" from a
+	// manifest while the actual claimant holds the terminal verdict — so the
+	// scatter prefers a terminal answer, falling back to the first
+	// non-terminal one only after every reachable backend has been asked.
+	var nonTerminal *bufferedResp
 	for _, bid := range rt.order {
 		b := rt.backends[bid]
 		// tried is checked BEFORE admissible: admissible consumes a half-open
@@ -399,9 +419,20 @@ func (rt *Router) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if br, _ := try(b); br != nil {
-			relayBuffered(w, br)
-			return
+			var st service.JobStatus
+			if json.Unmarshal(br.body, &st) == nil && st.ID != "" && service.JobState(st.State).Terminal() {
+				rt.rememberOwner(id, b.id)
+				relayBuffered(w, br)
+				return
+			}
+			if nonTerminal == nil {
+				nonTerminal = br
+			}
 		}
+	}
+	if nonTerminal != nil {
+		relayBuffered(w, nonTerminal)
+		return
 	}
 	if ownerUnreachable {
 		// The backend that acknowledged this job is temporarily out of the

@@ -356,13 +356,16 @@ func TestPartitionChaos(t *testing.T) {
 		t.Fatal("storm acknowledged no jobs; drill proves nothing")
 	}
 
-	// --- Zero lost acknowledged jobs, replicas provably serving: every
-	// acked ID completes through a router with its result inline — "done",
-	// or "degraded" when the browned-out survivor truthfully annotated the
-	// tier drop. The partitioned backend never serves again, so its jobs
-	// can ONLY be answered from replicas — the poll must say so via the
-	// truthful replica flag. A 404 at any point means an acked job was
-	// lost; "failed" means a verdict was fabricated under load. ---
+	// --- Zero lost acknowledged jobs, the fleet provably serving them for
+	// the dead and partitioned owners: every acked ID completes through a
+	// router with its result inline — "done", or "degraded" when the
+	// browned-out survivor truthfully annotated the tier drop. The
+	// partitioned backend never serves again, so its jobs can only be
+	// answered by the survivors — either from a replicated result (the
+	// truthful replica flag) or recomputed under a takeover claim (the
+	// survivors' jobs.takeovers counters). A 404 at any point means an
+	// acked job was lost; "failed" means a verdict was fabricated under
+	// load. ---
 	replicaServed := 0
 	deadline := time.Now().Add(90 * time.Second)
 	for i, id := range acked {
@@ -401,10 +404,18 @@ func TestPartitionChaos(t *testing.T) {
 			time.Sleep(25 * time.Millisecond)
 		}
 	}
-	if replicaServed == 0 {
-		t.Error("no acked job was served from a replica; the partitioned backend's jobs should have been")
+	var takeovers uint64
+	for _, b := range []string{backends[0], killed} {
+		st := failoverBackendStats(t, hc, b)
+		if st.Durability != nil && st.Durability.Leases != nil {
+			takeovers += st.Durability.Leases.Takeovers
+		}
 	}
-	t.Logf("all %d acknowledged jobs reached done; %d served from replicas", len(acked), replicaServed)
+	if replicaServed == 0 && takeovers == 0 {
+		t.Error("the partitioned backend's jobs were neither replica-served nor reclaimed; survivors should show one or the other")
+	}
+	t.Logf("all %d acknowledged jobs reached done; %d served from replicas, %d takeovers on survivors",
+		len(acked), replicaServed, takeovers)
 }
 
 // startPartitionChild re-execs this test binary as one gossiping, replicating

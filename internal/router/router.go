@@ -549,6 +549,30 @@ func (rt *Router) ownerOf(jobID string) (string, bool) {
 	return id, ok
 }
 
+// claimantOf consults gossip for a takeover claim on jobID: a backend
+// advertising that it claimed the job (its original owner died or drained)
+// is where the job now lives, so polls try it before scattering. The
+// highest-term claim from a live member wins — terms totally order owners,
+// so a stale claimant loses to the node that out-termed it.
+func (rt *Router) claimantOf(jobID string) (string, bool) {
+	if rt.gossip == nil {
+		return "", false
+	}
+	var node string
+	var best uint64
+	for _, m := range rt.gossip.Members() {
+		if m.Digest.State == gossip.Dead {
+			continue
+		}
+		for _, c := range m.Digest.Claims {
+			if c.Job == jobID && c.Term > best {
+				node, best = m.Digest.Node, c.Term
+			}
+		}
+	}
+	return node, node != ""
+}
+
 // candidates returns the ring's replica order for key with each backend's
 // live state attached; the caller filters admissibility per attempt (state
 // can change between attempts).

@@ -323,6 +323,13 @@ func (s *Server) resolveBudget(req *RouteRequest) (core.Budget, error) {
 	if hard := s.cfg.MaxSolutionsCap; hard > 0 && (b.MaxSolutions == 0 || b.MaxSolutions > hard) {
 		b.MaxSolutions = hard
 	}
+	// The server-wide wall cap clamps every request's effective wall budget,
+	// including client deadlines folded in from X-Merlin-Deadline-Ms. Work
+	// that cannot finish inside the cap fails as budget_exceeded_wall — the
+	// truthful "too slow" — rather than running past what anyone will wait.
+	if cap := s.cfg.MaxWallCap; cap > 0 && (b.MaxWallTime == 0 || b.MaxWallTime > cap) {
+		b.MaxWallTime = cap
+	}
 	return b, nil
 }
 

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// postJSONHeader is postJSON with extra headers applied.
+func postJSONHeader(t *testing.T, url string, body any, header map[string]string) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestDeadlineHeaderBecomesWallBudget: a client deadline arriving as
+// X-Merlin-Deadline-Ms is folded into the request's wall budget, so a solve
+// that cannot finish inside it fails truthfully as 422 budget_exceeded_wall
+// instead of burning a worker past the caller's patience.
+func TestDeadlineHeaderBecomesWallBudget(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSONHeader(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 20, 13)},
+		map[string]string{DeadlineHeader: "1"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != "budget_exceeded_wall" {
+		t.Fatalf("code = %q, want budget_exceeded_wall", eb.Code)
+	}
+}
+
+// TestDeadlineHeaderTightensNotLoosens: a header deadline longer than the
+// request's own max_wall_ms must not extend it — the fold is min, never max.
+func TestDeadlineHeaderTightensNotLoosens(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJSONHeader(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 20, 13), Budget: &Budget{MaxWallMS: 1}},
+		map[string]string{DeadlineHeader: strconv.FormatInt(time.Hour.Milliseconds(), 10)})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (own budget must survive a looser header)", resp.StatusCode)
+	}
+}
+
+// TestDeadlineHeaderGarbageIgnored: malformed or non-positive header values
+// are ignored, not 400s — the header is advisory, and a proxy mangling it
+// must not reject otherwise-valid work.
+func TestDeadlineHeaderGarbageIgnored(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, v := range []string{"", "bogus", "-5", "0"} {
+		resp := postJSONHeader(t, ts.URL+"/v1/route",
+			&RouteRequest{Net: testNet(t, 6, 14)},
+			map[string]string{DeadlineHeader: v})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("header %q: status = %d, want 200", v, resp.StatusCode)
+		}
+	}
+}
+
+// TestMaxWallCapClampsEveryRequest: a server-wide -max-wall-cap bounds the
+// effective wall budget even for requests that never asked for one.
+func TestMaxWallCapClampsEveryRequest(t *testing.T) {
+	s := New(Config{Workers: 1, MaxWallCap: time.Millisecond})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	wantError(t, ts.URL+"/v1/route",
+		&RouteRequest{Net: testNet(t, 20, 15)},
+		http.StatusUnprocessableEntity, "budget_exceeded_wall")
+}

@@ -74,6 +74,31 @@ func (s *Server) Handler() http.Handler {
 // per-tenant QoS off it and forwards it here for tracing.
 const TenantHeader = "X-Merlin-Tenant"
 
+// DeadlineHeader carries the client's remaining wall budget in milliseconds.
+// pkg/client derives it from its context deadline per attempt; the service
+// folds it into the request's wall-time budget (the smaller of the two wins)
+// and Config.MaxWallCap clamps the effective value. A deadline the compute
+// cannot meet then fails truthfully as 422 budget_exceeded_wall — "too slow
+// for your deadline" — instead of burning the full compute just to have the
+// client hang up.
+const DeadlineHeader = "X-Merlin-Deadline-Ms"
+
+// foldDeadline merges the DeadlineHeader value into a request budget,
+// creating the budget if needed. Returns the (possibly new) budget pointer.
+func foldDeadline(r *http.Request, b *Budget) *Budget {
+	ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64)
+	if err != nil || ms <= 0 {
+		return b
+	}
+	if b == nil {
+		b = &Budget{}
+	}
+	if b.MaxWallMS == 0 || ms < b.MaxWallMS {
+		b.MaxWallMS = ms
+	}
+	return b
+}
+
 type tenantCtxKey struct{}
 
 // WithTenant returns ctx carrying the tenant name (empty name = unchanged).
@@ -162,6 +187,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	req.Budget = foldDeadline(r, req.Budget)
 	resp, err := s.Route(r.Context(), &req)
 	if err != nil {
 		s.writeError(w, err)
@@ -180,6 +206,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, fmt.Errorf("%w: empty nets", ErrBadRequest))
 		return
 	}
+	req.Budget = foldDeadline(r, req.Budget) // applies per net, like TimeoutMS
 	if req.Stream {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
@@ -210,6 +237,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	req.Budget = foldDeadline(r, req.Budget)
 	st, created, err := s.SubmitJob(r.Context(), &req, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		s.writeError(w, err)

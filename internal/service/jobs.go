@@ -107,6 +107,19 @@ type jobEntry struct {
 	recovered bool
 	replica   bool     // result replicated here, request unknown (req == nil)
 	aliases   []string // extra IDs mapped here by replay-time idem dedupe
+
+	// Lease fields (see lease.go). owner/term are the fencing identity: the
+	// node that may write this job's terminal state and the monotone term it
+	// holds it at.
+	owner       string
+	term        uint64
+	manifest    bool   // replicated manifest of another node's queued job
+	released    bool   // owner released the lease (graceful-drain handoff)
+	ckptRung    string // last checkpointed ladder rung
+	ckptAttempt int    // checkpointed attempt count
+	// orphanDefers counts takeover sweeps that deferred this orphan to a
+	// preferred ring claimant; past a small cap this node claims anyway.
+	orphanDefers int
 }
 
 // statusLocked snapshots the entry's wire form (result attached later, off
@@ -126,7 +139,7 @@ func (e *jobEntry) statusLocked() *JobStatus {
 // walRecord is the JSON payload of one journal record. Snapshot records use
 // walSnapshot instead.
 type walRecord struct {
-	T    string        `json:"t"` // "accept" | "done" | "fail"
+	T    string        `json:"t"` // "accept" | "done" | "fail" | "claim" | "release" | "ckpt"
 	ID   string        `json:"id"`
 	Idem string        `json:"idem,omitempty"`
 	FP   string        `json:"fp,omitempty"`
@@ -137,6 +150,22 @@ type walRecord struct {
 	Key   string `json:"key,omitempty"`
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"`
+	// Owner and Term are the job's lease: granted at term 1 by the accept
+	// record, re-granted at a higher term by a "claim" (orphan takeover — a
+	// claim also carries Idem/FP/Req so the claimant's own journal can
+	// recompute the job after its crash), surrendered by a "release"
+	// (graceful drain). Terminal records carry the term they finished at so
+	// journal inspection can audit fencing. Exp is an advisory expiry (unix
+	// ms): the operational renewal is the owner's gossip liveness, not this
+	// timestamp.
+	Owner string `json:"owner,omitempty"`
+	Term  uint64 `json:"term,omitempty"`
+	Exp   int64  `json:"exp,omitempty"`
+	// Rung and Attempt are T=="ckpt" progress: the ladder rung the solve
+	// reached and how many rung attempts it has burned. A successor resumes
+	// at the checkpointed rung instead of recomputing from the top.
+	Rung    string `json:"rung,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
 }
 
 // walSnapshot is the compaction baseline: the full job table.
@@ -145,14 +174,18 @@ type walSnapshot struct {
 }
 
 type walJob struct {
-	ID    string        `json:"id"`
-	Idem  string        `json:"idem,omitempty"`
-	FP    string        `json:"fp,omitempty"`
-	State string        `json:"state"`
-	Req   *RouteRequest `json:"req,omitempty"`
-	Key   string        `json:"key,omitempty"`
-	Error string        `json:"error,omitempty"`
-	Code  string        `json:"code,omitempty"`
+	ID      string        `json:"id"`
+	Idem    string        `json:"idem,omitempty"`
+	FP      string        `json:"fp,omitempty"`
+	State   string        `json:"state"`
+	Req     *RouteRequest `json:"req,omitempty"`
+	Key     string        `json:"key,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Code    string        `json:"code,omitempty"`
+	Owner   string        `json:"owner,omitempty"`
+	Term    uint64        `json:"term,omitempty"`
+	Rung    string        `json:"rung,omitempty"`
+	Attempt int           `json:"attempt,omitempty"`
 }
 
 // FsyncPolicy reports the journal fsync policy in effect; empty on servers
@@ -225,7 +258,13 @@ func (s *Server) SubmitJob(ctx context.Context, req *RouteRequest, idemKey strin
 	}
 	e := &jobEntry{id: newJobID(), idem: idemKey, fp: fp, state: JobQueued, req: req}
 	if s.jour != nil {
-		rec, merr := json.Marshal(walRecord{T: "accept", ID: e.id, Idem: e.idem, FP: e.fp, Req: req})
+		// The accept record doubles as the term-1 lease grant: one fsync
+		// acknowledges the job and fences it to this owner.
+		e.owner, e.term = s.nodeID(), 1
+		rec, merr := json.Marshal(walRecord{
+			T: "accept", ID: e.id, Idem: e.idem, FP: e.fp, Req: req,
+			Owner: e.owner, Term: e.term, Exp: s.leaseExpiry(),
+		})
 		if merr == nil {
 			merr = s.jour.AppendCtx(ctx, rec)
 		}
@@ -238,6 +277,7 @@ func (s *Server) SubmitJob(ctx context.Context, req *RouteRequest, idemKey strin
 		s.jourDown.Store(false)
 	}
 	s.registerJobLocked(e)
+	s.noteLeaseTermLocked(e.id, e.term)
 	s.met.inc("jobs.submitted")
 	st = e.statusLocked()
 	s.jobsMu.Unlock()
@@ -250,6 +290,11 @@ func (s *Server) SubmitJob(ctx context.Context, req *RouteRequest, idemKey strin
 		attrs["idem"] = idemKey
 	}
 	s.auditEvent("accepted", e.id, attrs)
+	// Ring successors get the job manifest (request + lease) so they can
+	// recompute it if this owner dies before finishing. Lossy and async:
+	// a job whose manifest never lands is simply not recoverable elsewhere,
+	// the same durability it had before manifests existed.
+	s.pushJobManifest(e, manifestQueued)
 	s.spawnJob(e)
 	return st, true, nil
 }
@@ -300,6 +345,8 @@ func (s *Server) evictForNewJobLocked() (evicted string, err error) {
 		if e.idem != "" {
 			delete(s.jobsByIdem, e.idem)
 		}
+		delete(s.myClaims, e.id)
+		delete(s.jobTerms, e.id)
 		s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
 		s.met.inc("jobs.evicted")
 		return e.id, nil
@@ -328,6 +375,11 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	}
 	e.state = JobRunning
 	req := e.req
+	// The term this run executes under. If a successor claims the job at a
+	// higher term while we run (we were presumed dead), the finish functions
+	// see the gap and fence this run's result out.
+	term := e.term
+	resume := e.ckptRung
 	s.jobsMu.Unlock()
 	s.auditEvent("started", e.id, nil)
 
@@ -335,6 +387,20 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	// submitting client may be long gone. Route applies the request's own
 	// timeout_ms or the server default.
 	ctx := context.Background()
+	if s.jour != nil {
+		ctx = withCheckpointer(ctx, func(t degrade.Tier) { s.checkpointJob(e, term, t) })
+	}
+	if resume != "" {
+		if rt, perr := degrade.ParseTier(resume); perr == nil {
+			// A predecessor (or a previous run of this process) checkpointed
+			// progress: start the ladder at the checkpointed rung instead of
+			// recomputing the more expensive tiers above it. The ladder clamps
+			// the start to the request's degradation floor, so an
+			// undegradable request truthfully recomputes at full.
+			ctx = withResumeRung(ctx, rt)
+			s.met.inc("jobs.ckpt_resumes")
+		}
+	}
 	var resp *RouteResponse
 	var err error
 	backoff := 25 * time.Millisecond
@@ -363,7 +429,7 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	}
 	if err != nil {
 		_, code := classifyError(err)
-		s.finishJob(e, walRecord{T: "fail", ID: e.id, Error: err.Error(), Code: code})
+		s.finishJob(e, walRecord{T: "fail", ID: e.id, Error: err.Error(), Code: code, Owner: s.nodeID(), Term: term})
 		s.auditEvent("failed", e.id, map[string]string{"code": code})
 		return
 	}
@@ -392,9 +458,12 @@ func (s *Server) runAsyncJob(e *jobEntry) {
 	if s.repl != nil && persisted != nil {
 		// Replicate only what actually landed on local disk — a replica of a
 		// result we couldn't persist would claim durability we don't have.
-		s.repl.Enqueue(resultKey, persisted, e.id, string(state))
+		// The push carries this run's lease term: replicas that learned a
+		// higher term from a successor reject it (409), which is how a
+		// resurrected stale owner's result dies at the store write.
+		s.repl.EnqueueJob(resultKey, persisted, e.id, string(state), term)
 	}
-	rec := walRecord{T: "done", ID: e.id, State: string(state), Key: resultKey}
+	rec := walRecord{T: "done", ID: e.id, State: string(state), Key: resultKey, Owner: s.nodeID(), Term: term}
 	s.finishJobWithResult(e, rec, state, resultKey, resp)
 	attrs := map[string]string{"state": string(state)}
 	if resultKey != "" {
@@ -418,6 +487,9 @@ func (s *Server) jobResultKey(req *RouteRequest, resp *RouteResponse) string {
 func (s *Server) finishJob(e *jobEntry, rec walRecord) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
+	if s.fencedLocked(e, rec.Term) {
+		return
+	}
 	s.appendTerminalLocked(rec)
 	e.state = JobFailed
 	e.errMsg, e.code = rec.Error, rec.Code
@@ -428,6 +500,9 @@ func (s *Server) finishJob(e *jobEntry, rec walRecord) {
 func (s *Server) finishJobWithResult(e *jobEntry, rec walRecord, state JobState, resultKey string, resp *RouteResponse) {
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
+	if s.fencedLocked(e, rec.Term) {
+		return
+	}
 	s.appendTerminalLocked(rec)
 	e.state = state
 	e.resultKey = resultKey
@@ -437,6 +512,24 @@ func (s *Server) finishJobWithResult(e *jobEntry, rec walRecord, state JobState,
 		e.result = nil // the store's checksummed copy is authoritative
 	}
 	s.met.inc("jobs.async." + string(state))
+}
+
+// fencedLocked reports whether a finishing run lost its lease: the entry's
+// term moved past the term the run started under (a successor claimed the
+// job while this node was presumed dead). The stale run's verdict is
+// discarded — no journal record, no state change — and the entry stays
+// queued so the claimant's replicated terminal state (or the router's
+// claimant poll) is what callers see. Callers hold jobsMu.
+func (s *Server) fencedLocked(e *jobEntry, term uint64) bool {
+	if term == 0 || e.term <= term {
+		return false
+	}
+	if e.state == JobRunning {
+		e.state = JobQueued
+	}
+	s.met.inc("jobs.fenced")
+	log.Printf("service: job %s finish at term %d fenced (lease now at term %d, owner %s)", e.id, term, e.term, e.owner)
+	return true
 }
 
 // appendTerminalLocked writes a terminal WAL record and snapshots when the
@@ -476,15 +569,18 @@ func (s *Server) snapshotLocked() {
 		if !ok {
 			continue
 		}
-		if e.replica {
-			// Replica entries are soft state: the authoritative WAL record
-			// lives on the node that computed the job. Journaling hearsay
-			// would make this node claim jobs it cannot recompute.
+		if e.replica || e.manifest {
+			// Replica and manifest entries are soft state: the authoritative
+			// WAL record lives on the node that owns the job. Journaling
+			// hearsay would make this node claim jobs it never accepted. A
+			// manifest this node claimed (takeover) has manifest cleared and
+			// its own "claim" record, so it does snapshot.
 			continue
 		}
 		snap.Jobs = append(snap.Jobs, walJob{
 			ID: e.id, Idem: e.idem, FP: e.fp, State: string(e.state),
 			Req: e.req, Key: e.resultKey, Error: e.errMsg, Code: e.code,
+			Owner: e.owner, Term: e.term, Rung: e.ckptRung, Attempt: e.ckptAttempt,
 		})
 	}
 	b, err := json.Marshal(snap)
@@ -622,8 +718,10 @@ func (s *Server) applySnapshot(payload []byte) {
 		e := &jobEntry{
 			id: w.ID, idem: w.Idem, fp: w.FP, state: JobState(w.State),
 			req: w.Req, resultKey: w.Key, errMsg: w.Error, code: w.Code,
+			owner: w.Owner, term: w.Term, ckptRung: w.Rung, ckptAttempt: w.Attempt,
 		}
 		s.registerJobLocked(e)
+		s.noteLeaseTermLocked(e.id, e.term)
 	}
 }
 
@@ -647,8 +745,12 @@ func (s *Server) applyWALRecord(payload []byte) {
 				return
 			}
 		}
-		e := &jobEntry{id: rec.ID, idem: rec.Idem, fp: rec.FP, state: JobQueued, req: rec.Req}
+		e := &jobEntry{
+			id: rec.ID, idem: rec.Idem, fp: rec.FP, state: JobQueued, req: rec.Req,
+			owner: rec.Owner, term: rec.Term,
+		}
 		s.registerJobLocked(e)
+		s.noteLeaseTermLocked(e.id, e.term)
 	case "done":
 		if e, ok := s.jobsByID[rec.ID]; ok {
 			st := JobState(rec.State)
@@ -657,11 +759,49 @@ func (s *Server) applyWALRecord(payload []byte) {
 			}
 			e.state = st
 			e.resultKey = rec.Key
+			if rec.Term > e.term {
+				e.owner, e.term = rec.Owner, rec.Term
+			}
 		}
 	case "fail":
 		if e, ok := s.jobsByID[rec.ID]; ok {
 			e.state = JobFailed
 			e.errMsg, e.code = rec.Error, rec.Code
+			if rec.Term > e.term {
+				e.owner, e.term = rec.Owner, rec.Term
+			}
+		}
+	case "claim":
+		// A takeover this node journaled: it owns the job at rec.Term. The
+		// claim carries the request copied from the manifest, so replay can
+		// recompute even though this node never journaled an accept.
+		if e, ok := s.jobsByID[rec.ID]; ok {
+			if rec.Term > e.term {
+				e.owner, e.term = rec.Owner, rec.Term
+			}
+			e.manifest = false
+			if e.req == nil {
+				e.req = rec.Req
+			}
+			s.noteLeaseTermLocked(e.id, e.term)
+			return
+		}
+		e := &jobEntry{
+			id: rec.ID, idem: rec.Idem, fp: rec.FP, state: JobQueued, req: rec.Req,
+			owner: rec.Owner, term: rec.Term,
+		}
+		s.registerJobLocked(e)
+		s.noteLeaseTermLocked(e.id, e.term)
+	case "release":
+		// This node drained while holding the job: successors were invited to
+		// claim it. Recovery still re-runs it (at-least-once); if a successor
+		// finished it first, this node's rerun is fenced at the replica write.
+		if e, ok := s.jobsByID[rec.ID]; ok {
+			e.released = true
+		}
+	case "ckpt":
+		if e, ok := s.jobsByID[rec.ID]; ok {
+			e.ckptRung, e.ckptAttempt = rec.Rung, rec.Attempt
 		}
 	default:
 		s.met.inc("journal.replay.bad_records")

@@ -1,10 +1,12 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 
 	"merlin/internal/journal"
 )
@@ -46,14 +48,27 @@ func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	id := r.Header.Get(journal.ReplicaJobHeader)
+	term, _ := strconv.ParseUint(r.Header.Get(journal.ReplicaTermHeader), 10, 64)
+	if id != "" && term > 0 && s.fencedPut(id, term) {
+		// The push carries a lease term below one this node has learned: it
+		// is a resurrected stale owner's work. Rejecting before the store
+		// write is the fencing guarantee — the stale result never lands, so
+		// it can never serve, never peer-warm, never dual-acknowledge.
+		writeJSON(w, http.StatusConflict, ErrorBody{
+			Error: fmt.Sprintf("push for job %s at stale lease term %d", id, term),
+			Code:  "stale_term",
+		})
+		return
+	}
 	if err := s.store.PutCtx(r.Context(), key, payload); err != nil {
 		s.met.inc("store.write_errors")
 		s.writeError(w, fmt.Errorf("%w: replica not stored: %v", ErrInternal, err))
 		return
 	}
 	s.met.inc("replica.received")
-	if id := r.Header.Get(journal.ReplicaJobHeader); id != "" {
-		s.registerReplicaJob(id, JobState(r.Header.Get(journal.ReplicaStateHeader)), key)
+	if id != "" {
+		s.registerReplicaJob(id, JobState(r.Header.Get(journal.ReplicaStateHeader)), key, term, payload)
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -92,26 +107,103 @@ func replicaKey(w http.ResponseWriter, r *http.Request) (string, bool) {
 	return key, true
 }
 
-// registerReplicaJob indexes a replicated result under its job ID, so a poll
-// routed to this node serves from the replica instead of 404ing. The entry
-// is soft state — req is nil (this node never saw the request) and it is
-// skipped by WAL snapshots; if the job already exists locally (this node
-// computed it, or a later push for the same job) the authoritative entry
-// wins. A full table of live jobs silently skips registration: replica
-// bookkeeping must never evict or reject real work.
-func (s *Server) registerReplicaJob(id string, state JobState, key string) {
-	if state != JobDone && state != JobDegraded {
+// registerReplicaJob indexes a pushed job artifact under its job ID. Three
+// kinds of push arrive here:
+//
+//   - terminal results ("done"/"degraded"): registered so a poll routed to
+//     this node serves from the replica instead of 404ing, and folded into
+//     an existing manifest entry — a successor's (or the owner's) terminal
+//     push is what retires a takeover candidate;
+//   - "queued" manifests: the job's request + lease replicated at accept
+//     time, registered as a manifest entry so this node can claim and
+//     recompute the job if its owner dies;
+//   - "released" manifests: the graceful-drain handoff — the manifest is
+//     marked released, which makes it claimable without a death verdict.
+//
+// Manifest and replica entries are soft state, skipped by WAL snapshots; a
+// locally-computed terminal entry is authoritative and never overwritten. A
+// full table of live jobs silently skips registration: replica bookkeeping
+// must never evict or reject real work.
+func (s *Server) registerReplicaJob(id string, state JobState, key string, term uint64, payload []byte) {
+	switch state {
+	case JobDone, JobDegraded:
+	case manifestQueued, manifestReleased:
+		s.registerManifest(state, payload)
+		return
+	default:
 		return
 	}
 	s.jobsMu.Lock()
 	defer s.jobsMu.Unlock()
-	if _, exists := s.jobsByID[id]; exists {
+	if e, exists := s.jobsByID[id]; exists {
+		if e.state.Terminal() || term < e.term {
+			return // authoritative or newer than the push; keep ours
+		}
+		// A manifest (or still-queued local view) learns its job finished
+		// elsewhere: fold the terminal state in so polls here serve it and
+		// the takeover sweep stops considering it orphaned.
+		e.state = state
+		e.resultKey = key
+		if e.manifest {
+			// The result arrived by push and was never computed here; polls
+			// answered from this entry are replica-served and must say so.
+			e.replica = true
+		}
+		if term > e.term {
+			e.term = term
+		}
+		s.noteLeaseTermLocked(id, e.term)
+		s.met.inc("replica.jobs_updated")
 		return
 	}
 	if _, err := s.evictForNewJobLocked(); err != nil {
 		return
 	}
-	e := &jobEntry{id: id, state: state, resultKey: key, replica: true}
+	e := &jobEntry{id: id, state: state, resultKey: key, replica: true, term: term}
 	s.registerJobLocked(e)
+	s.noteLeaseTermLocked(id, term)
 	s.met.inc("replica.jobs_registered")
+}
+
+// registerManifest folds a pushed job manifest into the table: the request
+// and lease of a job some other node owns, held here as a takeover
+// candidate (state "queued") or an explicit drain handoff ("released").
+func (s *Server) registerManifest(state JobState, payload []byte) {
+	var m jobManifest
+	if err := json.Unmarshal(payload, &m); err != nil || m.ID == "" || m.Req == nil {
+		s.met.inc("replica.manifest_rejected")
+		return
+	}
+	released := state == manifestReleased
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	if e, exists := s.jobsByID[m.ID]; exists {
+		if e.state.Terminal() {
+			return // already finished; the manifest is history
+		}
+		if m.Term > e.term {
+			e.owner, e.term = m.Owner, m.Term
+			s.noteLeaseTermLocked(m.ID, m.Term)
+		}
+		if released && e.manifest {
+			e.released = true
+		}
+		if e.req == nil && !e.replica {
+			e.req = m.Req
+		}
+		return
+	}
+	if _, err := s.evictForNewJobLocked(); err != nil {
+		return
+	}
+	e := &jobEntry{
+		id: m.ID, idem: m.Idem, fp: m.FP, state: JobQueued, req: m.Req,
+		owner: m.Owner, term: m.Term, manifest: true, released: released,
+	}
+	// Manifests deliberately skip the idem index: the owner's entry is the
+	// one idempotent resubmissions must find, and it lives on the owner.
+	s.jobsByID[e.id] = e
+	s.jobOrder = append(s.jobOrder, e.id)
+	s.noteLeaseTermLocked(e.id, e.term)
+	s.met.inc("replica.manifests_registered")
 }

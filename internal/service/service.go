@@ -131,6 +131,22 @@ type Config struct {
 	// result; default 2.
 	ReplicaCount int
 
+	// LeaseTTL is the advisory expiry stamped on lease records in the WAL.
+	// Operationally a lease stays live while its owner's gossip state is not
+	// Dead — the owner renews by existing, at gossip cadence, not by
+	// journaling. Default 3s.
+	LeaseTTL time.Duration
+	// TakeoverInterval is how often this node sweeps gossip evidence for
+	// orphaned jobs — acknowledged, unfinished, owner dead or drained — that
+	// it should claim; default 500ms, negative disables takeover. Takeover
+	// needs a journal, a replica ring and gossip; without all three the
+	// sweep never starts.
+	TakeoverInterval time.Duration
+	// MaxWallCap, when positive, clamps every request's effective wall-time
+	// budget — its own budget.max_wall_ms or a client deadline from the
+	// X-Merlin-Deadline-Ms header — to at most this. Default 0: no cap.
+	MaxWallCap time.Duration
+
 	// onJobStart, when set (tests only), runs as a worker picks up a job —
 	// it lets shutdown and queue tests pin a job as provably in flight.
 	onJobStart func()
@@ -193,6 +209,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs == 0 {
 		c.MaxJobs = 4096
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.TakeoverInterval == 0 {
+		c.TakeoverInterval = 500 * time.Millisecond
 	}
 	return c
 }
@@ -269,6 +291,11 @@ type Server struct {
 	termSinceSnap int            // terminal records since the last snapshot
 	runners       sync.WaitGroup // async job runner goroutines
 	replayStats   journal.ReplayStats
+
+	// Lease/failover state (guarded by jobsMu; see lease.go).
+	leaseHW  uint64            // highest lease term granted or learned here
+	jobTerms map[string]uint64 // job id → highest fencing term learned
+	myClaims map[string]uint64 // takeover claims this node advertises
 }
 
 // New starts a server's worker pool and returns it ready to serve. The
@@ -361,6 +388,8 @@ func newServer(cfg Config) *Server {
 		start:      time.Now(),
 		jobsByID:   make(map[string]*jobEntry),
 		jobsByIdem: make(map[string]*jobEntry),
+		jobTerms:   make(map[string]uint64),
+		myClaims:   make(map[string]uint64),
 	}
 	s.brown = newBrownout(cfg)
 	s.stopBrown = make(chan struct{})
@@ -397,6 +426,9 @@ func (s *Server) startWorkers() {
 		s.gossip.Start()
 		s.goGuard("gossip-publish", s.gossipPublishLoop)
 	}
+	if s.canTakeover() {
+		s.goGuard("lease-takeover", s.takeoverLoop)
+	}
 }
 
 // gossipPublishLoop refreshes the health payload the gossip node advertises.
@@ -421,7 +453,10 @@ func (s *Server) gossipPublishLoop() {
 
 // publishGossip snapshots this backend's health into its gossip digest:
 // readiness (with the truthful reason), queue utilization, the brownout
-// admission tier, and the result store's write high-water mark.
+// admission tier, the result store's write high-water mark, and — on durable
+// nodes — the lease high-water mark and any takeover claims. The lease
+// advertisement is the cheap renewal: owners renew every lease they hold by
+// gossiping at all, with zero journal writes.
 func (s *Server) publishGossip() {
 	ready, reason := s.Ready()
 	util := float64(len(s.jobs)) / float64(s.cfg.QueueDepth)
@@ -430,6 +465,7 @@ func (s *Server) publishGossip() {
 		hw = s.store.WriteCount()
 	}
 	s.gossip.SetLocal(ready, reason, util, uint32(s.brown.tier()), hw)
+	s.publishLease()
 }
 
 // Route runs one request through the cache and the pool. It blocks until the
@@ -685,17 +721,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.closeJobs.Do(func() { close(s.jobs) })
 	s.workers.Wait()
+	// Async runners have either finished or parked their jobs back to queued
+	// (the WAL carries those to the next boot). Wait for them before the
+	// drain handoff below, so released leases cover exactly the jobs that
+	// will not finish here.
+	s.runners.Wait()
+	// Graceful-drain lease handoff: journal a release for every job this
+	// node still owns unfinished and tell the ring, so successors claim them
+	// now instead of waiting out a death verdict that never comes (a drained
+	// node gossips "draining", not "dead").
+	s.releaseLeasesForDrain()
 	if s.repl != nil {
+		// Bounded courtesy: give release manifests and final result pushes a
+		// moment to reach the ring. Replication is lossy by design — a slow
+		// peer must not hold shutdown hostage.
+		deadline := time.Now().Add(time.Second)
+		for s.repl.Pending() > 0 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
 		s.repl.Stop()
 	}
 	if s.gossip != nil {
 		s.gossip.Stop()
 	}
-	// Async runners have either finished or parked their jobs back to queued
-	// (the WAL carries those to the next boot). Wait for them, write a final
-	// snapshot so the next boot replays one record instead of the whole log,
-	// and close the journal.
-	s.runners.Wait()
 	// Closing the collector ends any /v1/trace/stream handlers (their
 	// subscriber channels close) so the HTTP server's own shutdown is not
 	// held open by firehose readers.
@@ -802,13 +850,25 @@ func (s *Server) runJob(j *job, engines *lruCache) {
 		// All Flow III work goes through the degradation ladder. An
 		// undegradable request (floor full) is a plain Flow III run; a
 		// degradable one starts at the brownout controller's serving tier
-		// and falls further on per-rung budget exhaustion or panic.
+		// and falls further on per-rung budget exhaustion or panic. A
+		// checkpoint-resumed job (async failover) starts no higher than its
+		// last checkpointed rung; the ladder clamps either start to the
+		// request's floor, so resumption never lies about degradability.
+		startTier := s.brown.tier()
+		if rt, ok := resumeRungFrom(j.ctx); ok && rt > startTier {
+			startTier = rt
+		}
 		lres, lerr := degrade.Ladder{}.Solve(j.ctx, degrade.Request{
 			Net:     j.req.Net,
 			Profile: j.prof,
-			Start:   s.brown.tier(),
+			Start:   startTier,
 			Floor:   j.floor,
 			EngineFor: func(t degrade.Tier, p flows.Profile) *core.Engine {
+				// Entering a rung is the checkpoint moment for async jobs:
+				// progress is journaled before the rung burns any compute.
+				if ck := checkpointerFrom(j.ctx); ck != nil {
+					ck(t)
+				}
 				ek := tieredKey(j.eng, t.String())
 				if v, ok := engines.Get(ek); ok {
 					s.met.inc("engine_cache.hits")
@@ -912,6 +972,9 @@ type DurabilityStats struct {
 	// Replication reports the async replica push/fetch machinery; absent
 	// when no replica ring is configured.
 	Replication *journal.ReplicationStats `json:"replication,omitempty"`
+	// Leases reports the job-failover machinery: lease high-water mark,
+	// held/orphaned counts, takeovers, fencing rejections and checkpoints.
+	Leases *LeaseStats `json:"leases,omitempty"`
 }
 
 // BrownoutStats reports the overload controller on /v1/stats.
@@ -980,6 +1043,7 @@ func (s *Server) Stats() Stats {
 			r := s.repl.Stats()
 			dur.Replication = &r
 		}
+		dur.Leases = s.leaseStats(counters)
 	}
 	var tcs *trace.CollectorStats
 	if s.traces != nil {

@@ -329,6 +329,15 @@ func (c *Client) doRetry(ctx context.Context, path string, body []byte, header h
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if dl, ok := ctx.Deadline(); ok {
+			// Propagate the caller's remaining patience so the server can
+			// fold it into the request's wall budget: a solve the client has
+			// already abandoned should stop burning a worker. Recomputed per
+			// attempt — retries shrink what is left.
+			if ms := time.Until(dl).Milliseconds(); ms > 0 {
+				req.Header.Set(service.DeadlineHeader, strconv.FormatInt(ms, 10))
+			}
+		}
 		for k, vs := range header {
 			for _, v := range vs {
 				req.Header.Add(k, v)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -267,5 +268,52 @@ func TestRetriesTransportErrors(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
 		t.Fatalf("gave up after %v, backoff misconfigured", elapsed)
+	}
+}
+
+// TestDeadlineHeaderPropagated: a context deadline is forwarded to the
+// server as X-Merlin-Deadline-Ms, recomputed per attempt so retries carry
+// the shrinking remainder, and omitted when the context has no deadline.
+func TestDeadlineHeaderPropagated(t *testing.T) {
+	var calls atomic.Int32
+	var headers [2]string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if n <= 2 {
+			headers[n-1] = r.Header.Get(service.DeadlineHeader)
+		}
+		if n == 1 {
+			errJSON(w, http.StatusTooManyRequests, "queue_full")
+			return
+		}
+		json.NewEncoder(w).Encode(service.RouteResponse{Net: "ok"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := fastClient(ts.URL, 4).Route(ctx, &service.RouteRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	var ms [2]int64
+	for i, h := range headers {
+		v, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || v <= 0 {
+			t.Fatalf("attempt %d: deadline header %q, want positive integer ms", i+1, h)
+		}
+		ms[i] = v
+	}
+	if ms[1] > ms[0] {
+		t.Fatalf("retry advertised more time than the first attempt: %d then %d ms", ms[0], ms[1])
+	}
+
+	// No deadline on the context — no header on the wire.
+	calls.Store(0)
+	headers = [2]string{"unset", "unset"}
+	if _, err := fastClient(ts.URL, 0).Route(context.Background(), &service.RouteRequest{}); err == nil {
+		_ = err // single 429 without retries errors; either way the header was recorded
+	}
+	if headers[0] != "" {
+		t.Fatalf("deadline header sent without a context deadline: %q", headers[0])
 	}
 }
